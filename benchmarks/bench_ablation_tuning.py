@@ -1,0 +1,64 @@
+"""Ablations — the reliability/message-complexity trade-off knobs.
+
+§VII's closing remark: "To achieve better reliability, we can easily
+adjust z_Ti, p_a^Ti and g_Ti." And §VI-D: c trades intra-group
+reliability against S·(log S + c) messages. These sweeps measure both
+sides of each trade on the paper scenario.
+"""
+
+from repro.experiments.ablations import (
+    sweep_fanout_constant,
+    sweep_link_redundancy,
+)
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario(sizes=(8, 40, 200))  # scaled for sweep speed
+RUNS = 6
+
+
+def test_ablation_link_redundancy(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: sweep_link_redundancy(
+            g_values=(1, 2, 5, 10, 20),
+            scenario=SCENARIO,
+            alive_fraction=0.6,
+            runs=RUNS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ablation_link_redundancy")
+
+    rows = table.as_dicts()
+    # More links -> more inter-group messages (the cost side).
+    inter = [row["inter_msgs"] for row in rows]
+    assert inter[-1] > inter[0]
+    # More links -> better (or equal) root delivery on average (the
+    # benefit side) comparing the extremes.
+    assert rows[-1]["recv_root"] >= rows[0]["recv_root"] - 0.05
+    # The analytic pit-based prediction moves the same way.
+    assert rows[-1]["analytic_root"] >= rows[0]["analytic_root"]
+
+
+def test_ablation_fanout_constant(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: sweep_fanout_constant(
+            c_values=(0, 1, 2, 3, 5, 8),
+            scenario=SCENARIO,
+            alive_fraction=1.0,
+            runs=RUNS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ablation_fanout_constant")
+
+    rows = table.as_dicts()
+    # Cost grows with c...
+    msgs = [row["event_msgs"] for row in rows]
+    assert msgs == sorted(msgs)
+    # ...and delivery improves, tracking e^{-e^{-c}}.
+    assert rows[-1]["recv_bottom"] >= rows[0]["recv_bottom"]
+    assert rows[-1]["recv_bottom"] >= 0.97
+    analytic = [row["analytic_one_group"] for row in rows]
+    assert analytic == sorted(analytic)

@@ -1,0 +1,99 @@
+"""Appendix — the tuning equivalences and z-bounds (eqs. 14-30).
+
+For each baseline: sweep the baseline's gossip constant c, report the
+feasibility window, the matching c1 and the z-bound; verify numerically
+that plugging c1 into the (average-case) daMulticast reliability exactly
+reproduces the baseline's reliability — i.e. the paper's algebra balances.
+"""
+
+import math
+
+from repro.analysis import (
+    atomic_gossip_reliability,
+    match_broadcast,
+    match_hierarchical,
+    match_multicast,
+)
+from repro.metrics.report import Table
+
+PIT = 0.9995
+T = 3
+C_GRID = (0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 8.0)
+
+
+def build_table():
+    table = Table(
+        f"Appendix tuning bounds (pit={PIT}, t={T}, S_T=1000, n=1110, N=10)",
+        ["baseline", "c", "feasible", "c1", "z_bound", "equality_error"],
+        precision=4,
+    )
+    for c in C_GRID:
+        for result, target in (
+            (
+                match_multicast(c, PIT, t=T, s_t=1000),
+                atomic_gossip_reliability(c) ** T,
+            ),
+            (
+                match_broadcast(c, PIT, t=T, n=1110, s_t=1000),
+                atomic_gossip_reliability(c),
+            ),
+            (
+                match_hierarchical(c, PIT, t=T, n_clusters=10),
+                math.exp(-10 * math.exp(-c) - math.exp(-c)),
+            ),
+        ):
+            if result.feasible:
+                ours = (atomic_gossip_reliability(result.c1) * PIT) ** T
+                error = abs(ours - target)
+            else:
+                error = float("nan")
+            table.add_row(
+                result.baseline,
+                c,
+                result.feasible,
+                "-" if result.c1 is None else round(result.c1, 4),
+                "-" if result.z_bound is None else round(result.z_bound, 4),
+                error,
+            )
+    return table
+
+
+def test_tuning_bounds(benchmark, emit):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit(table, "appendix_tuning_bounds")
+
+    rows = table.as_dicts()
+    feasible_rows = [r for r in rows if r["feasible"]]
+    assert feasible_rows, "some (baseline, c) pairs must be feasible"
+
+    # The algebra balances: equality error is numerically zero wherever
+    # the match is feasible.
+    for row in feasible_rows:
+        assert row["equality_error"] < 1e-9, row
+
+    # Structure of the windows: multicast/broadcast matches become
+    # infeasible for large c (can't out-gossip a lossless baseline with a
+    # lossy inter-group hop). With pit=0.9995 the multicast window closes
+    # at -ln(-ln(pit)) ~= 7.6: c=7 is still feasible, c=8 is not.
+    multicast_7 = [
+        r for r in rows if r["baseline"] == "multicast" and r["c"] == 7.0
+    ][0]
+    assert multicast_7["feasible"]
+    multicast_8 = [
+        r for r in rows if r["baseline"] == "multicast" and r["c"] == 8.0
+    ][0]
+    assert not multicast_8["feasible"]
+    # ...while the hierarchical window also excludes very small c (its
+    # N·e^{-c} penalty makes it easy to match only in a middle band).
+    hier_small_c = [
+        r for r in rows if r["baseline"] == "hierarchical" and r["c"] == 0.5
+    ][0]
+    assert not hier_small_c["feasible"]
+
+    # The paper scenario's z=3 fits under the multicast z-bound.
+    multicast_ok = [
+        r
+        for r in rows
+        if r["baseline"] == "multicast" and r["feasible"]
+    ]
+    assert any(r["z_bound"] >= 3 for r in multicast_ok)

@@ -1,0 +1,44 @@
+"""Fig. 8 — number of events sent within each group vs alive fraction.
+
+Paper (§VII-B): "the maximal number of events sent within a group ...
+The message complexity is of an order of S_Ti·ln(S_Ti) as expected."
+With the paper's own (base-10) fan-out, the T2 curve peaks at
+``1000·(log10(1000)+5) = 8000`` messages at full aliveness and decays
+roughly linearly with the failure fraction; T1 and T0 sit near the x-axis
+(700 and ≤60).
+"""
+
+from repro.experiments import DEFAULT_GRID, run_figure8
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario()  # the §VII setting, log10 fan-out
+RUNS = 5
+
+
+def test_figure8(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_figure8(grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "fig08_group_messages")
+
+    rows = {row["alive_fraction"]: row for row in table.as_dicts()}
+    full = rows[1.0]
+
+    # Peak scale: S*(log10 S + c) per group at full aliveness.
+    assert 7200 <= full["msgs_T2"] <= 8000  # 1000 * 8
+    assert 500 <= full["msgs_T1"] <= 700    # 100 * 7
+    assert 0 < full["msgs_T0"] <= 60        # 10 * 6
+
+    # Ordering by group size at every aliveness level with any dissemination.
+    for row in table.as_dicts():
+        if row["msgs_T1"] > 0:
+            assert row["msgs_T2"] >= row["msgs_T1"] >= row["msgs_T0"]
+
+    # Message counts grow with aliveness (roughly linear decay with failures).
+    t2 = table.column("msgs_T2")
+    assert t2 == sorted(t2), "T2 messages must be monotone in aliveness"
+    # Roughly linear: the midpoint is within 25% of half the peak.
+    mid = rows[0.5]["msgs_T2"]
+    assert 0.3 * full["msgs_T2"] <= mid <= 0.7 * full["msgs_T2"]

@@ -1,0 +1,49 @@
+"""Fig. 10 — fraction of processes receiving the event, stillborn failures.
+
+Paper (§VII-B): "the reception probability depends on the overall
+probability of a process having failed. Of course, the reliability is
+smaller for processes interested in T0 as the reception of an event of
+topic T2, by the group T0, depends on the success of the dissemination of
+this event in the group T2 and T1."
+"""
+
+from repro.experiments import DEFAULT_GRID, run_figure10
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario()
+RUNS = 5
+
+
+def test_figure10(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_figure10(grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "fig10_reliability_stillborn")
+
+    rows = {row["alive_fraction"]: row for row in table.as_dicts()}
+    full = rows[1.0]
+
+    # Near-total delivery at full aliveness, every group.
+    assert full["recv_T2"] >= 0.97
+    assert full["recv_T1"] >= 0.95
+    assert full["recv_T0"] >= 0.90
+
+    # Collapse as aliveness -> 0.
+    assert rows[0.0]["recv_T2"] <= 0.01
+    assert rows[0.0]["recv_T0"] == 0.0
+
+    # Monotone in aliveness for the publication group.
+    t2 = table.column("recv_T2")
+    assert all(b >= a - 0.05 for a, b in zip(t2, t2[1:]))
+
+    # Depth ordering on average over the sweep: the root group (two hops
+    # from the publication) cannot beat the publication group.
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(table.column("recv_T2")) >= mean(table.column("recv_T0"))
+
+    # Fraction can never exceed the alive fraction (dead processes cannot
+    # receive) — the curves stay at or below the diagonal.
+    for row in table.as_dicts():
+        assert row["recv_T2"] <= row["alive_fraction"] + 0.05

@@ -1,0 +1,41 @@
+"""Fig. 11 — reliability under dynamic (weakly-consistent) failures.
+
+Paper (§VII-B): "a process can appear to be failed for a process while
+appearing alive for another one (to simulate a weakly consistent
+membership algorithm). We achieve a much better reliability for a weakly
+connected system than in the preceding scenario (Figure 10)."
+"""
+
+from repro.experiments import DEFAULT_GRID, run_figure10, run_figure11
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario()
+RUNS = 5
+
+
+def test_figure11(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_figure11(grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "fig11_reliability_dynamic")
+
+    rows = {row["alive_fraction"]: row for row in table.as_dicts()}
+
+    # Full aliveness behaves like Fig. 10's.
+    assert rows[1.0]["recv_T2"] >= 0.97
+
+    # The paper's headline comparison: MUCH better reliability than the
+    # stillborn case over the mid-range. Compare directly per point.
+    fig10 = run_figure10(
+        grid=(0.4, 0.5, 0.6, 0.7), runs=RUNS, scenario=SCENARIO
+    )
+    fig10_rows = {row["alive_fraction"]: row for row in fig10.as_dicts()}
+    for alive in (0.4, 0.5, 0.6, 0.7):
+        assert rows[alive]["recv_T2"] > fig10_rows[alive]["recv_T2"] + 0.1, (
+            f"dynamic failures must dominate stillborn at alive={alive}"
+        )
+
+    # Transient perceived failures still deliver broadly at 50%.
+    assert rows[0.5]["recv_T2"] >= 0.8

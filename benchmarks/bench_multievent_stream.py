@@ -1,0 +1,52 @@
+"""Steady-state stream bench — stability beyond the paper's single shot.
+
+The paper's figures publish one event per run; a pub/sub system serves
+streams. This bench asserts the properties that make daMulticast safe to
+run continuously: per-event cost independent of the arrival rate
+(infect-and-die holds no inter-event state), no delivery degradation over
+the stream, and zero parasites for any topic mix.
+"""
+
+from repro.experiments.multievent import stream_table
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario(sizes=(5, 25, 120), p_succ=0.9)
+
+
+def test_multievent_stream_cost_flat(benchmark, emit):
+    # Single publication level: per-event cost must be flat in the rate.
+    table = benchmark.pedantic(
+        lambda: stream_table(
+            rates=(0.1, 0.3, 0.6),
+            runs=3,
+            scenario=SCENARIO,
+            publish_levels=(2,),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "multievent_stream")
+
+    rows = table.as_dicts()
+    costs = [row["messages_per_event"] for row in rows]
+    assert max(costs) / min(costs) <= 1.2
+    for row in rows:
+        assert row["mean_delivery"] >= 0.95
+        assert row["min_delivery"] >= 0.7
+        assert row["parasites"] == 0.0
+
+
+def test_multievent_mixed_topics_no_parasites(benchmark, emit):
+    # Mixed levels: costs differ per topic, but parasites stay zero and
+    # delivery stays high for every event in the stream.
+    table = benchmark.pedantic(
+        lambda: stream_table(
+            rates=(0.4,), runs=3, scenario=SCENARIO, publish_levels=(1, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "multievent_stream_mixed")
+    row = table.as_dicts()[0]
+    assert row["parasites"] == 0.0
+    assert row["mean_delivery"] >= 0.95

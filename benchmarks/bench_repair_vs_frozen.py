@@ -1,0 +1,37 @@
+"""Repair bench — quantifying §VII's "pessimistic" frozen-membership setting.
+
+Paper: "Pessimistically, we assume that the membership algorithm does not
+'replace' a failed process, and that these fail at the very beginning."
+The full protocol (membership shuffles + KEEP_TABLE_UPDATED +
+FIND_SUPER_CONTACT) repairs tables at runtime; at the same failure
+fraction, the repaired system must dominate the frozen one — especially
+at the root, where frozen inter-group links die silently.
+"""
+
+from repro.experiments.repair import repair_comparison
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario(sizes=(4, 12, 48), p_succ=0.9)
+
+
+def test_repair_recovers_reliability(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: repair_comparison(
+            alive_fraction=0.4, runs=4, scenario=SCENARIO
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "repair_vs_frozen")
+
+    rows = {row["mode"]: row for row in table.as_dicts()}
+    frozen = rows["frozen"]
+    repaired = rows["repaired"]
+
+    # Among survivors, the repaired system dominates the frozen one.
+    assert repaired["bottom_delivery"] >= frozen["bottom_delivery"] - 0.05
+    assert repaired["root_delivery"] >= frozen["root_delivery"] + 0.15, (
+        "live repair must substantially recover inter-group reliability"
+    )
+    # And it approaches the failure-free regime in its own group.
+    assert repaired["bottom_delivery"] >= 0.9

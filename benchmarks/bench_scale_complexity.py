@@ -1,0 +1,47 @@
+"""Scaling benches — §VI's asymptotic claims measured directly.
+
+§VI-B: "maxNbMsgSent ∈ O(S_Tmax·ln(S_Tmax))" (for constant t), and
+"∈ O(t·S_Tmax·ln(S_Tmax))" otherwise. We grow S and t independently and
+check the measured growth laws.
+"""
+
+from repro.experiments.scale import sweep_depth, sweep_group_size
+
+
+def test_scale_group_size(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: sweep_group_size(
+            s_values=(50, 100, 200, 400, 800), runs=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "scale_group_size")
+
+    rows = table.as_dicts()
+    normalized = [row["normalized"] for row in rows]
+    # The publication group's own cost normalized by S·(log S + c) must
+    # stay ~flat over a 16x range of S: no super-log-linear growth hides
+    # in the protocol. (The ceil() in the fan-out gives the wiggle room.)
+    assert max(normalized) / min(normalized) <= 1.25
+    assert all(0.6 <= n <= 1.4 for n in normalized)
+    # The total is dominated by the bottom group as S grows.
+    assert rows[-1]["bottom_messages"] >= 0.9 * rows[-1]["event_messages"]
+
+
+def test_scale_depth(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: sweep_depth(t_values=(1, 2, 3, 4, 5), runs=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "scale_depth")
+
+    rows = table.as_dicts()
+    per_level = [row["per_level"] for row in rows]
+    # Linear in t: per-level cost is flat (every level pays S(log S + c)).
+    assert max(per_level) / min(per_level) <= 1.2
+    # Inter-group traffic grows with the number of crossed edges (g·a per
+    # edge, ±Monte-Carlo noise): compare the endpoints.
+    inter = [row["inter_messages"] for row in rows]
+    assert inter[-1] > inter[0]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one figure/table of the paper, prints the same
+rows/series the paper reports, persists them under ``benchmarks/out/`` and
+asserts the qualitative acceptance criteria from DESIGN.md §8 (who wins,
+orderings, scales). Timing is captured by pytest-benchmark with exactly one
+round — these are experiment harnesses, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    """Directory where rendered tables are persisted."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(report_dir, capsys):
+    """Print a rendered table (visible with -s) and write it to disk."""
+
+    def _emit(table, name: str) -> None:
+        rendered = table.render()
+        with capsys.disabled():
+            print()
+            print(rendered)
+        (report_dir / f"{name}.txt").write_text(rendered + "\n")
+
+    return _emit

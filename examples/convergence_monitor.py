@@ -1,0 +1,79 @@
+"""Watching the membership substrate converge, round by round.
+
+The paper's guarantees lean on the underlying membership algorithm [10]
+keeping each group's overlay connected with uniform-looking views. This
+example runs the *dynamic* protocol from a cold start and uses the
+round scheduler + overlay metrics to watch it happen:
+
+* per round: overlay connectivity, mean view size, in-degree spread and
+  the fraction of supertopic tables already initialized;
+* at the end: a publication whose per-group hop depths show the epidemic
+  O(log S) dissemination plus one extra step per inter-group hand-off.
+
+Run:  python examples/convergence_monitor.py
+"""
+
+from repro.core import DaMulticastSystem
+from repro.metrics import hops_by_group, overlay_stats, views_of
+from repro.sim.rounds import RoundScheduler
+from repro.topics import Topic
+
+ROOT = Topic.parse(".")
+MID = Topic.parse(".m")
+LEAF = Topic.parse(".m.leaf")
+
+
+def main() -> None:
+    system = DaMulticastSystem(seed=33, mode="dynamic", p_success=0.95)
+    system.add_group(ROOT, 4)
+    system.add_group(MID, 12)
+    system.add_group(LEAF, 36)
+
+    rounds = RoundScheduler(system.engine, round_length=5.0)
+
+    print(f"{'round':>5} {'connected':>9} {'view̅':>6} {'indeg σ':>8} "
+          f"{'stable links':>12}")
+
+    def report(round_number: int) -> None:
+        stats = overlay_stats(views_of(system.group(LEAF)))
+        linked = sum(
+            1
+            for p in system.group(LEAF)
+            if p.super_table.targets_direct_super_of(LEAF)
+        )
+        print(
+            f"{round_number:>5} {str(stats.connected):>9} "
+            f"{stats.mean_view_size:>6.1f} {stats.in_degree_stdev:>8.2f} "
+            f"{linked:>9}/{len(system.group(LEAF))}"
+        )
+
+    rounds.on_round(report)
+    rounds.run_rounds(8)  # 40 time units of protocol activity
+    rounds.stop()
+
+    event = system.publish(LEAF, payload="converged!")
+    system.run(until=rounds.current_round * 5.0 + 20.0)
+
+    print("\npublication after convergence:")
+    groups = {
+        LEAF: system.group_pids(LEAF),
+        MID: system.group_pids(MID),
+        ROOT: system.group_pids(ROOT),
+    }
+    depths = hops_by_group(system.tracker, event.event_id, groups)
+    for topic in (LEAF, MID, ROOT):
+        fraction = system.delivered_fraction(event, topic)
+        depth = depths[topic]
+        depth_text = f"{depth:.1f}" if depth is not None else "-"
+        print(
+            f"  {topic.name:<8} delivery {fraction:6.1%}   "
+            f"mean hop depth {depth_text}"
+        )
+    print(
+        "\nHop depths grow by roughly one inter-group hand-off per level —\n"
+        "the O(log S) epidemic spread plus the bottom-up climb of Fig. 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Multiple supertopics (§VIII extension): one topic, two parent feeds.
+
+``.sports.football`` is filed both under ``.sports`` (its path parent) and
+under ``.news`` (a linked second supertopic). Per the paper's concluding
+remarks, each football process simply keeps one supertopic table per
+parent; a match report then climbs BOTH branches — sports desks and news
+desks each receive it, the root receives it exactly once despite the
+diamond, and ``.news``-only events never leak into ``.sports``.
+
+Run:  python examples/multi_inheritance.py
+"""
+
+from repro.core.multiparent import MultiParentSystem
+from repro.topics import Topic, TopicDag
+
+ROOT = Topic.parse(".")
+NEWS = Topic.parse(".news")
+SPORTS = Topic.parse(".sports")
+FOOTBALL = Topic.parse(".sports.football")
+
+
+def main() -> None:
+    dag = TopicDag()
+    dag.add(FOOTBALL)
+    dag.add(NEWS)
+    dag.link(FOOTBALL, NEWS)  # second supertopic: multiple inheritance
+
+    system = MultiParentSystem(dag, seed=21, p_success=0.9)
+    system.add_group(ROOT, 5)
+    system.add_group(NEWS, 20)
+    system.add_group(SPORTS, 20)
+    system.add_group(FOOTBALL, 60)
+    system.finalize_static_membership()
+
+    football_process = system.group(FOOTBALL)[0]
+    print("supertopic tables of one .sports.football process:")
+    for parent, table in football_process.super_tables.items():
+        print(f"  parent {parent.name:<9} -> {len(table)} contacts in "
+              f"{table.target_topic.name}")
+
+    event = system.publish(FOOTBALL, payload="cup final report")
+    system.run_until_idle()
+    print("\nmatch report published on .sports.football:")
+    for topic in (FOOTBALL, SPORTS, NEWS, ROOT):
+        print(f"  {topic.name:<18} delivery "
+              f"{system.delivered_fraction(event, topic):6.1%}")
+
+    root_copies = max(
+        sum(1 for e in p.delivered if e.event_id == event.event_id)
+        for p in system.group(ROOT)
+    )
+    print(f"  max copies delivered to any root process: {root_copies} "
+          "(diamond deduplicated)")
+
+    bulletin = system.publish(NEWS, payload="election bulletin")
+    system.run_until_idle()
+    print("\nelection bulletin published on .news:")
+    for topic in (NEWS, ROOT, SPORTS, FOOTBALL):
+        print(f"  {topic.name:<18} delivery "
+              f"{system.delivered_fraction(bulletin, topic):6.1%}")
+    print("  (.sports and .football stay clean — no parasite deliveries)")
+
+
+if __name__ == "__main__":
+    main()

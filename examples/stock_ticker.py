@@ -1,0 +1,81 @@
+"""Per-topic reliability tuning on a market-data hierarchy.
+
+The paper's headline flexibility: "(2) the two constants c_Ti and z_Ti make
+it possible for the application to trade, for every topic of the hierarchy,
+the message complexity of the dissemination with the reliability of this
+dissemination."
+
+A ticker plant publishes trades on ``.markets.equities.tech`` over a lossy
+network (p_succ = 0.75). We compare two configurations of the *same*
+deployment:
+
+* a cheap profile (c=2, g=1, a=1, z=2) — fewer messages, weaker delivery,
+* a reliable profile for the hot topic only (c=6, g=8, a=2, z=4 override
+  on ``.markets.equities.tech``) — the paper's per-topic override in
+  action: only the hot group and its links pay the premium.
+
+Run:  python examples/stock_ticker.py
+"""
+
+from dataclasses import replace
+
+from repro.core import DaMulticastConfig, DaMulticastSystem, TopicParams
+from repro.topics import Topic
+
+MARKETS = Topic.parse(".markets")
+EQUITIES = Topic.parse(".markets.equities")
+TECH = Topic.parse(".markets.equities.tech")
+
+CHEAP = TopicParams(b=3, c=2, g=1, a=1, z=2)
+HOT = TopicParams(b=3, c=6, g=8, a=2, z=4)
+
+
+def run_profile(name: str, config: DaMulticastConfig, seed: int) -> None:
+    system = DaMulticastSystem(
+        config=config, seed=seed, p_success=0.75, mode="static"
+    )
+    system.add_group(MARKETS, 10)      # risk/compliance: everything
+    system.add_group(EQUITIES, 50)     # equities desks
+    system.add_group(TECH, 300)        # tech-sector traders
+
+    system.finalize_static_membership()
+
+    # A burst of 20 trades on the hot topic.
+    fractions = {MARKETS: 0.0, EQUITIES: 0.0, TECH: 0.0}
+    trades = 20
+    for i in range(trades):
+        event = system.publish(TECH, payload={"symbol": "ACME", "seq": i})
+        system.run_until_idle()
+        for topic in fractions:
+            fractions[topic] += system.delivered_fraction(event, topic)
+
+    messages = system.stats.event_messages_sent()
+    print(f"{name}:")
+    for topic, total in fractions.items():
+        print(f"  {topic.name:<26} mean delivery {total / trades:6.1%}")
+    print(f"  event messages for {trades} trades: {messages}")
+    print(f"  messages/trade: {messages / trades:.0f}\n")
+
+
+def main() -> None:
+    print("lossy network: p_succ = 0.75\n")
+
+    cheap_everywhere = DaMulticastConfig(default_params=CHEAP)
+    run_profile("cheap profile everywhere", cheap_everywhere, seed=11)
+
+    hot_topic_tuned = cheap_everywhere.with_override(TECH, HOT)
+    # Give the upstream desks a modest boost too, so the hand-off holds.
+    hot_topic_tuned = hot_topic_tuned.with_override(
+        EQUITIES, replace(CHEAP, g=4, z=3, c=4)
+    )
+    run_profile("hot topic tuned (per-topic overrides)", hot_topic_tuned, seed=11)
+
+    print(
+        "The override buys delivery on the hot topic (and its supergroups)\n"
+        "for a bounded message premium — exactly the c/g/a/z trade-off of\n"
+        "§VI-D, applied per topic instead of system-wide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""Message and memory complexity — §VI-B, §VI-C and Appendix eqs. 2–13.
+
+All functions take explicit per-level group sizes ``sizes`` ordered from
+the publication level up to the root (``sizes[0] = S_Tt`` ... ``sizes[-1]
+= S_T0``), matching the paper's chain assumption (§VI-A). Logarithms are
+natural by default (``log_base=math.e``), overridable for the base-10
+variant the paper's own simulator used (DESIGN.md note 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def _log(x: float, base: float) -> float:
+    if x <= 1:
+        return 0.0
+    return math.log(x, base)
+
+
+def _check_sizes(sizes: Sequence[int]) -> None:
+    if not sizes:
+        raise ConfigError("need at least one group size")
+    for size in sizes:
+        if size < 1:
+            raise ConfigError(f"group sizes must be >= 1, got {size}")
+
+
+# ----------------------------------------------------------------------
+# daMulticast (§VI-B)
+# ----------------------------------------------------------------------
+def damulticast_messages(
+    sizes: Sequence[int],
+    *,
+    c: float = 5.0,
+    g: float = 5.0,
+    a: float = 1.0,
+    z: int = 3,
+    p_succ: float = 1.0,
+    log_base: float = math.e,
+) -> float:
+    """Expected total events for one publication climbing the whole chain.
+
+    §VI-B: ``Σ_i S_i(log S_i + c_i) + Σ_{i<t} S_i·p_sel·p_a·p_succ·z``.
+    The second sum is the inter-group traffic; with ``p_sel = g/S`` and
+    ``p_a = a/z`` it simplifies to ``g·a·p_succ`` per crossed edge.
+    """
+    _check_sizes(sizes)
+    intra = sum(s * (_log(s, log_base) + c) for s in sizes)
+    # One inter-group hand-off per level except the root group.
+    inter = sum(
+        min(1.0, g / s) * s * (a / z) * z * p_succ for s in sizes[:-1]
+    )
+    return intra + inter
+
+
+def damulticast_message_bound(
+    sizes: Sequence[int],
+    *,
+    c: float = 5.0,
+    z: int = 3,
+    log_base: float = math.e,
+) -> float:
+    """§VI-B's worst-case upper bound ``t·S_max·log(S_max)·(1+c+z)``."""
+    _check_sizes(sizes)
+    t = len(sizes)
+    s_max = max(sizes)
+    return t * s_max * max(1.0, _log(s_max, log_base)) * (1 + c + z)
+
+
+def damulticast_memory(
+    group_size: int,
+    *,
+    c: float = 5.0,
+    z: int = 3,
+    has_super: bool = True,
+    log_base: float = math.e,
+) -> float:
+    """§VI-C: per-process membership knowledge ``log(S)+c (+z)``.
+
+    Root-group processes have no supertopic table (``has_super=False``),
+    giving the paper's range ``log(S)+c ≤ totalMbInfo ≤ log(S)+c+z``.
+    """
+    if group_size < 1:
+        raise ConfigError(f"group size must be >= 1, got {group_size}")
+    footprint = _log(group_size, log_base) + c
+    return footprint + (z if has_super else 0)
+
+
+# ----------------------------------------------------------------------
+# Baseline (a): gossip broadcast (Appendix eqs. 6-8)
+# ----------------------------------------------------------------------
+def broadcast_messages(
+    n: int, *, c: float = 5.0, log_base: float = math.e
+) -> float:
+    """Eq. (7): ``n·(log n + c)`` events per publication."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    return n * (_log(n, log_base) + c)
+
+
+def broadcast_memory(n: int, *, c: float = 5.0, log_base: float = math.e) -> float:
+    """Eq. (6): ``log(n) + c`` per process (n = whole system)."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    return _log(n, log_base) + c
+
+
+# ----------------------------------------------------------------------
+# Baseline (b): gossip multicast (Appendix eqs. 2-5)
+# ----------------------------------------------------------------------
+def multicast_messages(
+    sizes: Sequence[int], *, c: float = 5.0, log_base: float = math.e
+) -> float:
+    """Eq. (3): ``Σ_i S_i(log S_i + c_i)`` (event gossiped per level group)."""
+    _check_sizes(sizes)
+    return sum(s * (_log(s, log_base) + c) for s in sizes)
+
+
+def multicast_memory(
+    sizes: Sequence[int], *, c: float = 5.0, log_base: float = math.e
+) -> float:
+    """Eq. (2): ``Σ_i (log S_i + c_i)`` for a top-topic subscriber, which
+    joins its own group and every subtopic group."""
+    _check_sizes(sizes)
+    return sum(_log(s, log_base) + c for s in sizes)
+
+
+# ----------------------------------------------------------------------
+# Baseline (c): hierarchical gossip broadcast (Appendix eqs. 9-13)
+# ----------------------------------------------------------------------
+def hierarchical_messages(
+    n_clusters: int,
+    cluster_size: int,
+    *,
+    c1: float = 5.0,
+    c2: float = 5.0,
+    log_base: float = math.e,
+) -> float:
+    """Eq. (10): ``N·m·(log N + log m + c1 + c2)``."""
+    if n_clusters < 1 or cluster_size < 1:
+        raise ConfigError("n_clusters and cluster_size must be >= 1")
+    return (
+        n_clusters
+        * cluster_size
+        * (_log(n_clusters, log_base) + _log(cluster_size, log_base) + c1 + c2)
+    )
+
+
+def hierarchical_memory(
+    n_clusters: int,
+    cluster_size: int,
+    *,
+    c1: float = 5.0,
+    c2: float = 5.0,
+    log_base: float = math.e,
+) -> float:
+    """Eq. (9): ``log(N) + c1 + log(m) + c2`` per process."""
+    if n_clusters < 1 or cluster_size < 1:
+        raise ConfigError("n_clusters and cluster_size must be >= 1")
+    return _log(n_clusters, log_base) + c1 + _log(cluster_size, log_base) + c2

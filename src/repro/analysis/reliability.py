@@ -1,0 +1,198 @@
+"""Reliability analysis — §VI-D and §VI-E.3.
+
+The building blocks:
+
+* ``e^{-e^{-c}}`` — the Erdős–Rényi threshold [3]: if every member of a
+  group of ``S`` gossips a fresh event to ``log(S)+c`` uniformly random
+  members, the probability that *everyone* receives it tends to
+  ``exp(-exp(-c))``.
+* ``pit`` — the probability that at least one copy of the event crosses
+  from a group to its supergroup: ``nbSuscProc = S·p_sel·π`` processes are
+  able and willing to act as links, each sending to each of the ``z``
+  supertable entries with probability ``p_a``, each transmission arriving
+  with ``p_succ``; so ``pit = 1 − (1 − p_succ)^{S·p_sel·π·p_a·z}``
+  (§VI-D). With ``p_sel = g/S`` and ``p_a = a/z`` the exponent is simply
+  ``g·a·π``.
+* eq. (1) — the end-to-end product over the levels between the publication
+  topic and the observer's topic.
+
+Two variants of eq. (1) are provided (DESIGN.md note 5):
+:func:`damulticast_reliability_paper` multiplies one ``pit`` per *level*
+(t−j+1 factors, the paper's literal formula), while
+:func:`damulticast_reliability` multiplies one ``pit`` per *inter-group
+hop* (t−j factors — what the mechanism actually performs, and what the
+simulation reproduces).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def atomic_gossip_reliability(c: float) -> float:
+    """Erdős–Rényi limit ``e^{-e^{-c}}``: P(everyone in one group gets it)."""
+    return math.exp(-math.exp(-c))
+
+
+def effective_fanout_constant(
+    group_size: int,
+    *,
+    c: float,
+    p_succ: float = 1.0,
+    log_base: float = math.e,
+) -> float:
+    """The ``c`` the Erdős–Rényi threshold actually sees, after loss.
+
+    The protocol sends to ``F = ceil(log_b(S)+c)`` members but only
+    ``F·p_succ`` transmissions arrive on average, and the ER result is
+    stated in natural-log units: ``F·p_succ = ln(S) + c_eff``. Benchmarks
+    compare measured all-receive probabilities against
+    ``e^{-e^{-c_eff}}``, which accounts for both the paper's base-10
+    simulator fan-out and the lossy channels.
+    """
+    if group_size < 1:
+        raise ConfigError(f"group size must be >= 1, got {group_size}")
+    if not 0.0 <= p_succ <= 1.0:
+        raise ConfigError(f"p_succ must be in [0,1], got {p_succ}")
+    log_term = math.log(group_size, log_base) if group_size > 1 else 0.0
+    fanout = max(1, math.ceil(log_term + c))
+    fanout = min(fanout, group_size - 1) if group_size > 1 else fanout
+    natural_log = math.log(group_size) if group_size > 1 else 0.0
+    return fanout * p_succ - natural_log
+
+
+def effective_gossip_reliability(
+    group_size: int,
+    *,
+    c: float,
+    p_succ: float = 1.0,
+    log_base: float = math.e,
+) -> float:
+    """``e^{-e^{-c_eff}}`` with :func:`effective_fanout_constant`'s c_eff."""
+    c_eff = effective_fanout_constant(
+        group_size, c=c, p_succ=p_succ, log_base=log_base
+    )
+    return atomic_gossip_reliability(c_eff)
+
+
+def susceptible_processes(
+    group_size: int, g: float = 5.0, pi: float = 1.0
+) -> float:
+    """§VI-D's ``nbSuscProc = S·p_sel·π``: expected link candidates.
+
+    ``pi`` is the fraction of the group actually infected by the intra-
+    group gossip (cf. [4]); with ``p_sel = g/S`` this is just ``g·π``.
+    """
+    if group_size < 1:
+        raise ConfigError(f"group size must be >= 1, got {group_size}")
+    if not 0.0 <= pi <= 1.0:
+        raise ConfigError(f"pi must be in [0,1], got {pi}")
+    return group_size * min(1.0, g / group_size) * pi
+
+
+def intergroup_propagation_probability(
+    group_size: int,
+    *,
+    g: float = 5.0,
+    a: float = 1.0,
+    z: int = 3,
+    p_succ: float = 1.0,
+    pi: float = 1.0,
+) -> float:
+    """§VI-D's ``pit = 1 − (1−p_succ)^{nbSuscProc·p_a·z}``."""
+    if not 0.0 <= p_succ <= 1.0:
+        raise ConfigError(f"p_succ must be in [0,1], got {p_succ}")
+    if z < 1 or not 1 <= a <= z:
+        raise ConfigError(f"need 1 <= a <= z, got a={a}, z={z}")
+    exponent = susceptible_processes(group_size, g, pi) * (a / z) * z
+    if p_succ == 1.0:
+        return 1.0 if exponent > 0 else 0.0
+    return 1.0 - (1.0 - p_succ) ** exponent
+
+
+def damulticast_reliability(
+    sizes: Sequence[int],
+    *,
+    c: float = 5.0,
+    g: float = 5.0,
+    a: float = 1.0,
+    z: int = 3,
+    p_succ: float = 1.0,
+    pi: float = 1.0,
+) -> float:
+    """Hop-exact eq. (1): P(every member of the *top* group receives).
+
+    ``sizes`` runs from the publication group up to the observed group
+    (e.g. ``[S_T2, S_T1, S_T0]`` to observe the root). Gossip succeeds in
+    every traversed group (one ``e^{-e^{-c}}`` factor each), and the event
+    crosses ``len(sizes)-1`` inter-group edges (one ``pit`` factor per
+    *crossed* edge, computed from the downstream group's size).
+    """
+    if not sizes:
+        raise ConfigError("need at least one group size")
+    reliability = 1.0
+    for size in sizes:
+        if size < 1:
+            raise ConfigError(f"group sizes must be >= 1, got {size}")
+        reliability *= atomic_gossip_reliability(c)
+    for size in sizes[:-1]:  # each non-top group hands the event upward
+        reliability *= intergroup_propagation_probability(
+            size, g=g, a=a, z=z, p_succ=p_succ, pi=pi
+        )
+    return reliability
+
+
+def damulticast_reliability_paper(
+    sizes: Sequence[int],
+    *,
+    c: float = 5.0,
+    g: float = 5.0,
+    a: float = 1.0,
+    z: int = 3,
+    p_succ: float = 1.0,
+    pi: float = 1.0,
+) -> float:
+    """The paper's literal eq. (1): ``Π_{i=t}^{j} (e^{-e^{-c_i}}·pit_i)``.
+
+    Multiplies one ``pit`` per level including the top one (t−j+1 factors)
+    — slightly more pessimistic than the hop-exact variant whenever
+    ``pit < 1``.
+    """
+    if not sizes:
+        raise ConfigError("need at least one group size")
+    reliability = 1.0
+    for size in sizes:
+        reliability *= atomic_gossip_reliability(
+            c
+        ) * intergroup_propagation_probability(
+            size, g=g, a=a, z=z, p_succ=p_succ, pi=pi
+        )
+    return reliability
+
+
+# ----------------------------------------------------------------------
+# Baselines (§VI-E.3)
+# ----------------------------------------------------------------------
+def broadcast_reliability(c: float = 5.0) -> float:
+    """Baseline (a): one system-wide gossip — ``e^{-e^{-c}}``."""
+    return atomic_gossip_reliability(c)
+
+
+def multicast_reliability(levels: int, c: float = 5.0) -> float:
+    """Baseline (b): ``Π_i e^{-e^{-c_i}}`` over the ``levels`` traversed
+    topic groups."""
+    if levels < 1:
+        raise ConfigError(f"levels must be >= 1, got {levels}")
+    return atomic_gossip_reliability(c) ** levels
+
+
+def hierarchical_reliability(
+    n_clusters: int, c1: float = 5.0, c2: float = 5.0
+) -> float:
+    """Baseline (c) per [10]: ``e^{-N·e^{-c1} − e^{-c2}}``."""
+    if n_clusters < 1:
+        raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+    return math.exp(-n_clusters * math.exp(-c1) - math.exp(-c2))

@@ -1,0 +1,151 @@
+"""Appendix tuning results: matching each baseline's reliability.
+
+For each baseline the Appendix derives (assuming the average case — all
+levels share ``c``, ``S_T``, ``z`` and ``pit``):
+
+* the window of baseline constants ``c`` for which daMulticast *can* be
+  tuned to the same reliability (otherwise no supertopic-table size helps),
+* the daMulticast constant ``c1`` achieving equality (eqs. 16, 23, 28),
+* the bound on the supertopic-table size ``z`` under which daMulticast's
+  memory complexity still beats the baseline's (eqs. 19, 25, 30).
+
+All logarithms here are natural — these are the paper's analytical results,
+where ``e^{-e^{-c}}`` fixes the base.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class TuningResult:
+    """Outcome of matching daMulticast against one baseline.
+
+    ``feasible`` — whether equality is achievable for this ``c``;
+    ``c_window`` — the (low, high) feasibility window on ``c``;
+    ``c1`` — the daMulticast gossip constant achieving equal reliability
+    (None when infeasible);
+    ``z_bound`` — the largest supertopic-table size for which daMulticast's
+    memory stays at or below the baseline's (None when infeasible).
+    """
+
+    baseline: str
+    feasible: bool
+    c_window: tuple[float, float]
+    c1: float | None
+    z_bound: float | None
+
+
+def _check_pit(pit: float) -> None:
+    if not 0.0 < pit <= 1.0:
+        raise ConfigError(f"pit must be in (0,1], got {pit}")
+
+
+def match_multicast(
+    c: float, pit: float, *, t: int = 3, s_t: float = 1000.0
+) -> TuningResult:
+    """Appendix (a): equality with the gossip-multicast baseline.
+
+    Feasible iff ``0 ≤ c ≤ −ln(−ln(pit))`` (eq. 16's condition ①②); then
+    ``c1 = c − ln(1 + e^c·ln(pit))`` and daMulticast wins on memory iff
+    ``z ≤ (t−1)(ln S_T + c) + ln(1 + e^c·ln(pit))`` (eq. 19).
+    """
+    _check_pit(pit)
+    if t < 1:
+        raise ConfigError(f"t must be >= 1, got {t}")
+    if pit == 1.0:
+        # Condition ③: c1 == c works for any c ≥ 0, and the z bound
+        # degenerates to (t-1)(ln S_T + c).
+        window_high = math.inf
+    else:
+        window_high = -math.log(-math.log(pit))
+    feasible = 0.0 <= c <= window_high
+    if not feasible:
+        return TuningResult("multicast", False, (0.0, window_high), None, None)
+    inner = 1.0 + math.exp(c) * math.log(pit)
+    c1 = c - math.log(inner) if pit < 1.0 else c
+    z_bound = (t - 1) * (math.log(s_t) + c) + (
+        math.log(inner) if pit < 1.0 else 0.0
+    )
+    return TuningResult("multicast", True, (0.0, window_high), c1, z_bound)
+
+
+def match_broadcast(
+    c: float,
+    pit: float,
+    *,
+    t: int = 3,
+    n: float = 1110.0,
+    s_t: float = 1000.0,
+) -> TuningResult:
+    """Appendix (b): equality with the gossip-broadcast baseline.
+
+    Feasible iff ``0 ≤ c ≤ −ln(−t·ln(pit))`` (eq. 23's conditions); then
+    ``c1 = c − ln(1 + t·e^c·ln(pit)) + ln(t)`` and the memory win requires
+    ``z ≤ ln(n) + ln(1 + t·e^c·ln(pit)) − ln(S_T) − ln(t)`` (eq. 25).
+    """
+    _check_pit(pit)
+    if t < 1:
+        raise ConfigError(f"t must be >= 1, got {t}")
+    if n < 1 or s_t < 1:
+        raise ConfigError("n and s_t must be >= 1")
+    if pit == 1.0:
+        window_high = math.inf
+    else:
+        window_high = -math.log(-t * math.log(pit))
+    feasible = 0.0 <= c <= window_high
+    if not feasible:
+        return TuningResult("broadcast", False, (0.0, window_high), None, None)
+    inner = 1.0 + t * math.exp(c) * math.log(pit)
+    if pit < 1.0:
+        c1 = c - math.log(inner) + math.log(t)
+        log_inner = math.log(inner)
+    else:
+        c1 = c + math.log(t)
+        log_inner = 0.0
+    z_bound = math.log(n) + log_inner - math.log(s_t) - math.log(t)
+    return TuningResult("broadcast", True, (0.0, window_high), c1, z_bound)
+
+
+def match_hierarchical(
+    c: float,
+    pit: float,
+    *,
+    t: int = 3,
+    n_clusters: int = 10,
+) -> TuningResult:
+    """Appendix (c): equality with the hierarchical baseline.
+
+    Feasible iff ``−ln(t(1−ln pit)/(N+1)) ≤ c ≤ −ln(−t·ln(pit)/(N+1))``
+    (eq. 28's conditions); then
+    ``cT = ln(t) + c − ln(t·e^c·ln(pit) + N + 1)`` and the memory win
+    requires ``z ≤ c + ln(N) + ln(N + 1 + t·e^c·ln(pit)) − ln(t)``
+    (eq. 30).
+    """
+    _check_pit(pit)
+    if t < 1:
+        raise ConfigError(f"t must be >= 1, got {t}")
+    if n_clusters < 1:
+        raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+    n_plus = n_clusters + 1
+    log_pit = math.log(pit)
+    window_low = -math.log(t * (1.0 - log_pit) / n_plus)
+    if pit == 1.0:
+        window_high = math.inf
+    else:
+        window_high = -math.log(-t * log_pit / n_plus)
+    feasible = window_low <= c <= window_high
+    if not feasible:
+        return TuningResult(
+            "hierarchical", False, (window_low, window_high), None, None
+        )
+    inner = t * math.exp(c) * log_pit + n_plus
+    c_t = math.log(t) + c - math.log(inner)
+    z_bound = c + math.log(n_clusters) + math.log(inner) - math.log(t)
+    return TuningResult(
+        "hierarchical", True, (window_low, window_high), c_t, z_bound
+    )

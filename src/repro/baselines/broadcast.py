@@ -1,0 +1,60 @@
+"""Baseline (a): gossip-based broadcast.
+
+"Each time an event must be sent, it is broadcast in the entire system"
+(§VI-E). One global gossip group contains every process regardless of
+interest; tables have size ``(b+1)·log(n)`` and fan-out is ``log(n)+c``
+with ``n`` the total system size.
+
+Consequences measured by the benchmarks: message complexity
+``O(n·log n)`` instead of ``O(S_Tmax·log S_Tmax)``, reliability
+``e^{-e^{-c}}`` over the *whole* system, and maximal parasite deliveries —
+every process receives every event, interested or not.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.common import BaselineProcess, BaselineSystem
+from repro.core.events import Event
+from repro.membership.static import draw_topic_table
+from repro.membership.view import ProcessDescriptor
+from repro.topics.topic import Topic
+
+#: Synthetic group identity for "the entire system".
+GLOBAL_GROUP = Topic.parse(".broadcast-all")
+
+
+class GossipBroadcastSystem(BaselineSystem):
+    """One global infect-and-die gossip group over all processes."""
+
+    def finalize_membership(self) -> None:
+        """Draw each process's single global table of size ``(b+1)·log(n)``."""
+        rng = self.harness.rngs.stream("static-membership")
+        everyone = [
+            ProcessDescriptor(p.pid, GLOBAL_GROUP) for p in self.processes
+        ]
+        n = len(everyone)
+        capacity = self.table_capacity(n)
+        fanout = self.fanout(n)
+        for process in self.processes:
+            me = ProcessDescriptor(process.pid, GLOBAL_GROUP)
+            view = draw_topic_table(me, everyone, capacity, rng)
+            process.join_group(GLOBAL_GROUP, view, fanout)
+        self._finalized = True
+
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher: BaselineProcess | None = None,
+    ) -> Event:
+        """Broadcast an event of ``topic`` through the global group."""
+        self._require_finalized()
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        chosen = self._pick_publisher(resolved, publisher)
+        event = chosen.make_event(resolved, payload)
+        self.tracker.record_publish(event, chosen.pid)
+        chosen.publish_in_groups(event, [GLOBAL_GROUP])
+        return event

@@ -1,0 +1,330 @@
+"""Shared machinery for the baseline systems.
+
+Each baseline is an infect-and-die gossip over one or more *groups*: on the
+first reception of an event in group ``G``, a process forwards it to
+``log(|G|)+c`` members sampled from its ``G``-table. The baselines differ
+only in how groups are formed (one global group / one per topic / arbitrary
+clusters) and in which groups an event is injected.
+
+Group identity reuses :class:`repro.topics.Topic` so the existing
+per-group message accounting (Figs. 8/9 counters) applies unchanged;
+cluster groups of the hierarchical baseline use synthetic topics under
+``.cluster``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.events import Event, EventFactory, EventId
+from repro.errors import ConfigError, UnknownTopic
+from repro.failures.model import FailureModel
+from repro.membership.view import PartialView, ProcessDescriptor
+from repro.net.latency import LatencyModel, ZERO_LATENCY
+from repro.net.message import EventMessage, Message, Scope
+from repro.runtime import SimulationHarness
+from repro.topics.topic import Topic
+
+
+@dataclass
+class GroupState:
+    """One process's participation in one gossip group."""
+
+    group: Topic
+    view: PartialView
+    fanout: int
+
+
+class BaselineProcess:
+    """A process participating in one or more infect-and-die gossip groups.
+
+    ``interest`` is what the process actually subscribed to — used only for
+    parasite accounting; the gossip layer forwards everything it receives,
+    which is precisely why broadcast-style baselines pay parasite messages.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        interest: Topic,
+        harness: SimulationHarness,
+    ):
+        self.pid = pid
+        self.interest = interest
+        self._harness = harness
+        self.rng = harness.rngs.stream(f"baseline-process/{pid}")
+        self.groups: dict[Topic, GroupState] = {}
+        self.seen: set[EventId] = set()
+        self.delivered: list[Event] = []
+        self._event_factory = EventFactory(pid)
+
+    @property
+    def descriptor(self) -> ProcessDescriptor:
+        """This process as stored in membership tables (keyed by interest)."""
+        return ProcessDescriptor(self.pid, self.interest)
+
+    # ------------------------------------------------------------------
+    # Group membership
+    # ------------------------------------------------------------------
+    def join_group(self, group: Topic, view: PartialView, fanout: int) -> None:
+        """Install a statically drawn table for ``group``."""
+        self.groups[group] = GroupState(group, view, fanout)
+
+    @property
+    def memory_footprint(self) -> int:
+        """Total membership entries across all groups (§VI-E.2 measured)."""
+        return sum(len(state.view) for state in self.groups.values())
+
+    @property
+    def table_count(self) -> int:
+        """Number of membership tables this process maintains."""
+        return len(self.groups)
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def publish_in_groups(
+        self, event: Event, groups: list[Topic]
+    ) -> None:
+        """Inject ``event`` into each listed group (publisher side)."""
+        self.seen.add(event.event_id)
+        self._deliver(event)
+        for group in groups:
+            self._forward(event, group)
+
+    def handle_message(self, message: Message) -> None:
+        """First reception: deliver and forward within the same group."""
+        if not isinstance(message, EventMessage):
+            raise ConfigError(
+                f"baseline process {self.pid} got unexpected "
+                f"{type(message).__name__}"
+            )
+        event = message.event
+        if event.event_id in self.seen:
+            return
+        self.seen.add(event.event_id)
+        self._deliver(event)
+        self._on_first_reception(event, message.scope)
+
+    def _on_first_reception(self, event: Event, scope: Scope) -> None:
+        """Default: forward in the group the event arrived in. The
+        hierarchical baseline overrides this to add cross-cluster gossip."""
+        self._forward(event, scope.group)
+
+    def _forward(self, event: Event, group: Topic) -> None:
+        state = self.groups.get(group)
+        if state is None:
+            return  # not a member (stale table entry pointed at us)
+        targets = state.view.sample(state.fanout, self.rng, exclude=(self.pid,))
+        scope = Scope("intra", group)
+        for descriptor in targets:
+            self.send(
+                descriptor.pid,
+                EventMessage(sender=self.pid, event=event, scope=scope),
+            )
+
+    def _deliver(self, event: Event) -> None:
+        self.delivered.append(event)
+        self._harness.tracker.record_delivery(
+            self.pid, event, self._harness.now
+        )
+
+    def send(self, target: int, message: Message) -> None:
+        """Send via the shared unreliable network."""
+        self._harness.network.send(self.pid, target, message)
+
+    def make_event(self, topic: Topic, payload: Any) -> Event:
+        """Mint a new event from this process."""
+        return self._event_factory.create(topic, payload, self._harness.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(pid={self.pid}, "
+            f"interest={self.interest.name}, groups={len(self.groups)})"
+        )
+
+
+class BaselineSystem:
+    """Common facade: process management, publishing, reliability queries.
+
+    Subclasses implement :meth:`_groups_of` (which groups a process joins),
+    :meth:`_publish_groups` (where an event is injected) and
+    :meth:`finalize_membership` parameters.
+    """
+
+    #: gossip constants shared by the baselines (paper defaults)
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        p_success: float = 1.0,
+        latency: LatencyModel = ZERO_LATENCY,
+        failure_model: FailureModel | None = None,
+        b: float = 3.0,
+        c: float = 5.0,
+        log_base: float = math.e,
+        trace: bool = False,
+    ):
+        self.harness = SimulationHarness(
+            seed=seed,
+            p_success=p_success,
+            latency=latency,
+            failure_model=failure_model,
+            trace=trace,
+        )
+        self.b = b
+        self.c = c
+        self.log_base = log_base
+        self._processes: dict[int, BaselineProcess] = {}
+        self._interest_groups: dict[Topic, list[BaselineProcess]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The discrete-event engine."""
+        return self.harness.engine
+
+    @property
+    def stats(self):
+        """Network statistics."""
+        return self.harness.stats
+
+    @property
+    def tracker(self):
+        """The delivery tracker."""
+        return self.harness.tracker
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run the simulation to quiescence."""
+        return self.harness.run_until_idle(max_events=max_events)
+
+    def fanout(self, group_size: int) -> int:
+        """Infect-and-die fan-out ``log(S)+c`` (≥1)."""
+        log_term = (
+            math.log(group_size, self.log_base) if group_size > 1 else 0.0
+        )
+        return max(1, math.ceil(log_term + self.c))
+
+    def table_capacity(self, group_size: int) -> int:
+        """Membership table size ``(b+1)·log(S)`` (≥1)."""
+        if group_size <= 1:
+            return 1
+        return max(1, math.ceil((self.b + 1) * math.log(group_size, self.log_base)))
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def _make_process(self, interest: Topic) -> BaselineProcess:
+        return BaselineProcess(self.harness.next_pid(), interest, self.harness)
+
+    def add_process(self, interest: Topic | str) -> BaselineProcess:
+        """Create one process subscribed to ``interest``."""
+        resolved = (
+            Topic.parse(interest) if isinstance(interest, str) else interest
+        )
+        process = self._make_process(resolved)
+        self.harness.network.register(process)
+        self._processes[process.pid] = process
+        self._interest_groups.setdefault(resolved, []).append(process)
+        return process
+
+    def add_group(self, interest: Topic | str, count: int) -> list[BaselineProcess]:
+        """Create ``count`` processes subscribed to ``interest``."""
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        return [self.add_process(interest) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Queries shared by all baselines
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> list[BaselineProcess]:
+        """All processes, in creation order."""
+        return [self._processes[pid] for pid in sorted(self._processes)]
+
+    def interested_in(self, topic: Topic | str) -> list[BaselineProcess]:
+        """Processes whose subscription *includes* events of ``topic``.
+
+        A subscriber of ``Ta`` is interested in events of every subtopic,
+        so this returns subscribers of ``topic`` and of its supertopics.
+        """
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        return [
+            p for p in self.processes if p.interest.includes(resolved)
+        ]
+
+    def subscribers_of(self, topic: Topic | str) -> list[BaselineProcess]:
+        """Processes subscribed to exactly ``topic``."""
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        return list(self._interest_groups.get(resolved, []))
+
+    def interests(self) -> dict[int, Topic]:
+        """pid → subscription, for parasite accounting."""
+        return {pid: p.interest for pid, p in self._processes.items()}
+
+    def delivered_fraction(
+        self, event: Event, topic: Topic | str, *, alive_only: bool = True
+    ) -> float:
+        """Fraction of processes subscribed to exactly ``topic`` that got
+        ``event`` (comparable to DaMulticastSystem.delivered_fraction)."""
+        from repro.metrics.delivery import delivered_fraction
+
+        pids = [p.pid for p in self.subscribers_of(topic)]
+        is_alive = (
+            self.harness.is_alive if alive_only else (lambda pid: True)
+        )
+        return delivered_fraction(self.tracker, event.event_id, pids, is_alive)
+
+    def parasite_count(self) -> int:
+        """Total parasite deliveries so far (§I's efficiency criterion)."""
+        from repro.metrics.delivery import parasite_deliveries
+
+        return parasite_deliveries(self.tracker, self.interests())
+
+    def memory_footprints(self) -> list[int]:
+        """Measured membership entries per process."""
+        return [p.memory_footprint for p in self.processes]
+
+    # ------------------------------------------------------------------
+    # To be provided by each baseline
+    # ------------------------------------------------------------------
+    def finalize_membership(self) -> None:
+        """Draw all static tables (baseline-specific)."""
+        raise NotImplementedError
+
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher: BaselineProcess | None = None,
+    ) -> Event:
+        """Publish an event on ``topic`` (baseline-specific injection)."""
+        raise NotImplementedError
+
+    def _pick_publisher(
+        self, topic: Topic, publisher: BaselineProcess | None
+    ) -> BaselineProcess:
+        if publisher is not None:
+            return publisher
+        candidates = [
+            p
+            for p in self.subscribers_of(topic)
+            if self.harness.is_alive(p.pid)
+        ]
+        if not candidates:
+            raise UnknownTopic(
+                f"no alive process subscribed to {topic.name} to publish from"
+            )
+        return self.harness.rngs.stream("publish").choice(candidates)
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise ConfigError(
+                "call finalize_membership() before publishing"
+            )

@@ -1,0 +1,186 @@
+"""Baseline (c): hierarchical gossip-based broadcast (two-level, per [10]).
+
+"The basic idea is to create small subgroups (that do not depend on the
+interests of the processes in each group) and connect these groups to
+reduce the overall memory complexity. The system is split in two levels.
+The first level contains groups of processes that exchange events between
+them (intra group events). The second level is responsible for propagating
+the events between the groups." (§VI-E)
+
+Concretely: all processes are partitioned into ``N`` interest-oblivious
+clusters of roughly ``m = n/N`` processes. Each process keeps two tables —
+an in-cluster table of size ``(b+1)·log(m)`` (fan-out ``log(m)+c1``) and a
+cross-cluster table of size ``(b+1)·log(N)`` holding processes of *other*
+clusters (fan-out ``log(N)+c2``). On the first reception of an event, a
+process forwards it both inside its cluster and across clusters. Memory is
+``log(N)+log(m)+c1+c2``; every process still receives every event, so
+parasite deliveries remain maximal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.baselines.common import BaselineProcess, BaselineSystem
+from repro.core.events import Event
+from repro.errors import ConfigError
+from repro.membership.view import PartialView, ProcessDescriptor
+from repro.net.message import EventMessage, Scope
+from repro.topics.topic import Topic
+
+#: Synthetic parent topic for cluster group identities.
+CLUSTERS_ROOT = Topic.parse(".cluster")
+
+
+def cluster_topic(index: int) -> Topic:
+    """The synthetic group identity of cluster ``index``."""
+    return CLUSTERS_ROOT.child(f"c{index}")
+
+
+class HierarchicalProcess(BaselineProcess):
+    """A process with an in-cluster and a cross-cluster table."""
+
+    def __init__(self, pid: int, interest: Topic, harness) -> None:
+        super().__init__(pid, interest, harness)
+        self.cluster: Topic | None = None
+
+    def _on_first_reception(self, event: Event, scope: Scope) -> None:
+        # Two-level forwarding: inside our own cluster, and across clusters
+        # — regardless of which level the event arrived on.
+        assert self.cluster is not None
+        self._forward(event, self.cluster)
+        self._forward_cross_cluster(event)
+
+    def _forward_cross_cluster(self, event: Event) -> None:
+        state = self.groups.get(CLUSTERS_ROOT)
+        if state is None:
+            return
+        targets = state.view.sample(state.fanout, self.rng, exclude=(self.pid,))
+        assert self.cluster is not None
+        for descriptor in targets:
+            scope = Scope("inter", self.cluster, descriptor.topic)
+            self.send(
+                descriptor.pid,
+                EventMessage(sender=self.pid, event=event, scope=scope),
+            )
+
+
+class HierarchicalGossipSystem(BaselineSystem):
+    """Two-level interest-oblivious gossip broadcast."""
+
+    def __init__(
+        self,
+        *,
+        n_clusters: int = 10,
+        c2: float | None = None,
+        **kwargs: Any,
+    ):
+        super().__init__(**kwargs)
+        if n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        #: cross-cluster fan-out constant c2 (defaults to c1 = self.c)
+        self.c2 = self.c if c2 is None else c2
+        self._clusters: dict[Topic, list[HierarchicalProcess]] = {}
+
+    def _make_process(self, interest: Topic) -> HierarchicalProcess:
+        return HierarchicalProcess(
+            self.harness.next_pid(), interest, self.harness
+        )
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def finalize_membership(self) -> None:
+        """Partition processes into clusters and draw both tables each."""
+        rng = self.harness.rngs.stream("static-membership")
+        processes = list(self.processes)
+        if len(processes) < self.n_clusters:
+            raise ConfigError(
+                f"{len(processes)} processes cannot fill "
+                f"{self.n_clusters} clusters"
+            )
+        shuffled = processes[:]
+        rng.shuffle(shuffled)
+        self._clusters = {
+            cluster_topic(i): [] for i in range(self.n_clusters)
+        }
+        cluster_keys = list(self._clusters)
+        for index, process in enumerate(shuffled):
+            key = cluster_keys[index % self.n_clusters]
+            self._clusters[key].append(process)  # type: ignore[arg-type]
+            process.cluster = key  # type: ignore[attr-defined]
+
+        # In-cluster tables: (b+1)·log(m), fan-out log(m)+c1.
+        for key, members in self._clusters.items():
+            size = len(members)
+            capacity = self.table_capacity(size)
+            fanout = self.fanout(size)
+            descriptors = [ProcessDescriptor(p.pid, key) for p in members]
+            for process in members:
+                me = ProcessDescriptor(process.pid, key)
+                others = [d for d in descriptors if d.pid != process.pid]
+                view = PartialView(max(1, capacity))
+                chosen = (
+                    others
+                    if capacity >= len(others)
+                    else rng.sample(others, capacity)
+                )
+                for descriptor in chosen:
+                    view.add(descriptor, rng)
+                process.join_group(key, view, fanout)
+
+        # Cross-cluster tables: (b+1)·log(N) random processes of *other*
+        # clusters, fan-out log(N)+c2.
+        n = self.n_clusters
+        cross_capacity = self.table_capacity(n)
+        log_term = math.log(n, self.log_base) if n > 1 else 0.0
+        cross_fanout = max(1, math.ceil(log_term + self.c2))
+        for key, members in self._clusters.items():
+            outsiders = [
+                ProcessDescriptor(p.pid, other_key)
+                for other_key, others in self._clusters.items()
+                if other_key != key
+                for p in others
+            ]
+            for process in members:
+                view = PartialView(max(1, cross_capacity))
+                chosen = (
+                    outsiders
+                    if cross_capacity >= len(outsiders)
+                    else rng.sample(outsiders, cross_capacity)
+                )
+                for descriptor in chosen:
+                    view.add(descriptor, rng)
+                process.join_group(CLUSTERS_ROOT, view, cross_fanout)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher: BaselineProcess | None = None,
+    ) -> Event:
+        """Inject an event at its publisher's cluster (both levels)."""
+        self._require_finalized()
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        chosen = self._pick_publisher(resolved, publisher)
+        assert isinstance(chosen, HierarchicalProcess)
+        event = chosen.make_event(resolved, payload)
+        self.tracker.record_publish(event, chosen.pid)
+        assert chosen.cluster is not None
+        chosen.seen.add(event.event_id)
+        chosen.delivered.append(event)
+        self.tracker.record_delivery(chosen.pid, event, self.harness.now)
+        chosen._forward(event, chosen.cluster)
+        chosen._forward_cross_cluster(event)
+        return event
+
+    def clusters(self) -> dict[Topic, list[HierarchicalProcess]]:
+        """The cluster partition (after finalization)."""
+        return {key: list(members) for key, members in self._clusters.items()}

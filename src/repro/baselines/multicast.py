@@ -1,0 +1,92 @@
+"""Baseline (b): gossip-based multicast (one group per topic).
+
+This is §IV-A's pattern (1): "a group is created for the publishers of a
+topic ... a subscriber of topic Ta becomes a member of the group Ta and
+member of all the groups of the subtopics of Ta. When an event of topic Tb
+is published, this event is only disseminated in the group Tb."
+
+So the *members* of group ``Tb`` are every process whose subscription
+includes ``Tb`` — its own subscribers plus the subscribers of each
+supertopic. Each process therefore maintains one membership table per
+registered subtopic of its interest (up to ``t`` tables on a chain,
+``Σ(log S_Ti + c_Ti)`` memory — §VI-E.2), but receives no parasite events.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.common import BaselineProcess, BaselineSystem
+from repro.core.events import Event
+from repro.membership.static import draw_topic_table
+from repro.membership.view import ProcessDescriptor
+from repro.topics.hierarchy import TopicHierarchy
+from repro.topics.topic import Topic
+
+
+class GossipMulticastSystem(BaselineSystem):
+    """Per-topic gossip groups; subscribers join every subtopic group."""
+
+    def __init__(self, **kwargs: Any):
+        super().__init__(**kwargs)
+        self.hierarchy = TopicHierarchy()
+
+    def add_process(self, interest: Topic | str) -> BaselineProcess:
+        process = super().add_process(interest)
+        self.hierarchy.add(process.interest)
+        return process
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def group_members(self, topic: Topic) -> list[BaselineProcess]:
+        """Everyone who must be in group ``topic``: processes whose
+        subscription includes it (subscribers of ``topic`` or a supertopic)."""
+        return [
+            p for p in self.processes if p.interest.includes(topic)
+        ]
+
+    def finalize_membership(self) -> None:
+        """Draw one table per (process, relevant topic group).
+
+        A process subscribed to ``Ta`` joins the group of every registered
+        topic that ``Ta`` includes — ``Ta`` itself and all its subtopics.
+        """
+        rng = self.harness.rngs.stream("static-membership")
+        for topic in self.hierarchy.topics:
+            members = self.group_members(topic)
+            if not members:
+                continue
+            size = len(members)
+            capacity = self.table_capacity(size)
+            fanout = self.fanout(size)
+            descriptors = [ProcessDescriptor(p.pid, topic) for p in members]
+            for process in members:
+                me = ProcessDescriptor(process.pid, topic)
+                view = draw_topic_table(me, descriptors, capacity, rng)
+                process.join_group(topic, view, fanout)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher: BaselineProcess | None = None,
+    ) -> Event:
+        """Disseminate an event *only* in its own topic's group (pattern 1)."""
+        self._require_finalized()
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        self.hierarchy.require(resolved)
+        chosen = self._pick_publisher(resolved, publisher)
+        event = chosen.make_event(resolved, payload)
+        self.tracker.record_publish(event, chosen.pid)
+        chosen.publish_in_groups(event, [resolved])
+        return event
+
+    def tables_per_process(self) -> dict[int, int]:
+        """pid → number of membership tables (the §VI-E.2 overhead)."""
+        return {p.pid: p.table_count for p in self.processes}

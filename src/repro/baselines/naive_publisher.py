@@ -1,0 +1,113 @@
+"""The naive pattern-(2) strawman: the publisher fans into every supergroup.
+
+§IV-A considers two straightforward topic/group mappings before settling
+on daMulticast. Pattern (2) — "a group is created for the subscribers of a
+topic ... when an event of topic Tb is published, this event is
+disseminated in the group Tb *and to all the groups of all the supertopics
+of Tb*" — has the stated disadvantage that it "overload[s] the publishers
+(they must publish in several groups)" and "makes of these single points
+of failures". daMulticast is "an optimized variant of the second pattern
+to achieve a better load distribution".
+
+This comparator implements the naive pattern faithfully:
+
+* one gossip group per topic, containing only its direct subscribers;
+* the *publisher* holds a membership table for its own group and for
+  every supertopic group (``t`` tables — the memory price), and injects
+  each event into all of them itself (the load price);
+* inside each group, normal infect-and-die gossip.
+
+The load-distribution benchmark measures exactly the claim: here the
+publisher transmits ``Σᵢ fanout(Sᵢ)`` copies per event and is a single
+point of failure for the upward flow, whereas in daMulticast the
+publisher's burden is one group's fan-out plus at most ``z`` hand-offs,
+and any group member can carry the event upward.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.common import BaselineProcess, BaselineSystem
+from repro.core.events import Event
+from repro.membership.static import draw_topic_table
+from repro.membership.view import ProcessDescriptor
+from repro.topics.hierarchy import TopicHierarchy
+from repro.topics.topic import Topic
+
+
+class NaivePublisherSystem(BaselineSystem):
+    """Pattern (2) of §IV-A, without daMulticast's optimization."""
+
+    def __init__(self, **kwargs: Any):
+        super().__init__(**kwargs)
+        self.hierarchy = TopicHierarchy()
+
+    def add_process(self, interest: Topic | str) -> BaselineProcess:
+        process = super().add_process(interest)
+        self.hierarchy.add(process.interest)
+        return process
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def finalize_membership(self) -> None:
+        """Every subscriber joins only its own topic's group; every
+        process additionally receives tables for all its supertopic
+        groups so it can publish into them (the pattern-2 requirement)."""
+        rng = self.harness.rngs.stream("static-membership")
+        populations: dict[Topic, list[ProcessDescriptor]] = {}
+        for topic in self.hierarchy.topics:
+            members = self.subscribers_of(topic)
+            if members:
+                populations[topic] = [
+                    ProcessDescriptor(p.pid, topic) for p in members
+                ]
+        for topic, descriptors in populations.items():
+            size = len(descriptors)
+            capacity = self.table_capacity(size)
+            fanout = self.fanout(size)
+            for process in self.subscribers_of(topic):
+                me = ProcessDescriptor(process.pid, topic)
+                view = draw_topic_table(me, descriptors, capacity, rng)
+                process.join_group(topic, view, fanout)
+        # Publisher-side supergroup tables: every process gets one table
+        # per *populated* supertopic of its interest.
+        for process in self.processes:
+            for ancestor in process.interest.ancestors():
+                descriptors = populations.get(ancestor)
+                if not descriptors:
+                    continue
+                size = len(descriptors)
+                capacity = self.table_capacity(size)
+                fanout = self.fanout(size)
+                me = ProcessDescriptor(process.pid, ancestor)
+                view = draw_topic_table(me, descriptors, capacity, rng)
+                process.join_group(ancestor, view, fanout)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Publishing: the publisher fans into every group itself
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher: BaselineProcess | None = None,
+    ) -> Event:
+        """Inject the event into the topic's group and every supergroup —
+        all transmissions paid by the publisher (§IV-A's plain arrows)."""
+        self._require_finalized()
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        self.hierarchy.require(resolved)
+        chosen = self._pick_publisher(resolved, publisher)
+        event = chosen.make_event(resolved, payload)
+        self.tracker.record_publish(event, chosen.pid)
+        groups = [
+            group
+            for group in chosen.groups
+            if group.includes(resolved) or group == resolved
+        ]
+        chosen.publish_in_groups(event, groups)
+        return event

@@ -1,0 +1,264 @@
+"""Command-line interface: regenerate any figure or table of the paper.
+
+Usage (installed as ``damulticast``, or ``python -m repro``)::
+
+    damulticast fig8                 # Fig. 8 series
+    damulticast fig10 --runs 10     # more repetitions
+    damulticast fig11 --grid 0 0.25 0.5 0.75 1.0
+    damulticast compare             # §VI-E measured comparison
+    damulticast analysis            # §VI-E closed-form tables
+    damulticast tuning --pit 0.9995 # Appendix feasibility/z-bounds
+    damulticast ablate-g / ablate-c # tuning-knob sweeps
+
+Every command prints the same rows/series the paper reports, as an
+aligned ASCII table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.comparison import ChainScenario, comparison_table
+from repro.analysis.tuning import (
+    match_broadcast,
+    match_hierarchical,
+    match_multicast,
+)
+from repro.experiments.ablations import (
+    sweep_fanout_constant,
+    sweep_link_redundancy,
+)
+from repro.experiments.comparisons import measured_comparison
+from repro.experiments.figures import (
+    DEFAULT_GRID,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+)
+from repro.metrics.report import Table
+from repro.workloads.scenarios import PaperScenario
+
+
+def _add_common_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runs", type=int, default=5, help="repetitions per grid point"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed for the sweep"
+    )
+    parser.add_argument(
+        "--grid",
+        type=float,
+        nargs="+",
+        default=list(DEFAULT_GRID),
+        help="alive-fraction grid points",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10, 100, 1000],
+        help="group sizes from the root down (default: paper's 10 100 1000)",
+    )
+
+
+def _scenario_from(args: argparse.Namespace) -> PaperScenario:
+    return PaperScenario(sizes=tuple(args.sizes))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="damulticast",
+        description=(
+            "Reproduction of 'Data-Aware Multicast' (DSN 2004): regenerate "
+            "the paper's figures and tables."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("fig8", "events sent within each group vs alive fraction"),
+        ("fig9", "events sent between groups vs alive fraction"),
+        ("fig10", "reliability under stillborn failures"),
+        ("fig11", "reliability under dynamic failures"),
+    ]:
+        figure = sub.add_parser(name, help=help_text)
+        _add_common_experiment_args(figure)
+
+    compare = sub.add_parser(
+        "compare", help="measured §VI-E comparison of all four algorithms"
+    )
+    compare.add_argument("--runs", type=int, default=3)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 100, 1000]
+    )
+
+    analysis = sub.add_parser(
+        "analysis", help="closed-form §VI-E tables (no simulation)"
+    )
+    analysis.add_argument(
+        "--sizes", type=int, nargs="+", default=[1000, 100, 10],
+        help="group sizes from the publication level up",
+    )
+    analysis.add_argument("--p-succ", type=float, default=1.0)
+
+    tuning = sub.add_parser(
+        "tuning", help="Appendix equivalence windows and z-bounds"
+    )
+    tuning.add_argument("--pit", type=float, default=0.9995)
+    tuning.add_argument("--c", type=float, nargs="+", default=[1.0, 2.0, 5.0])
+    tuning.add_argument("--t", type=int, default=3)
+    tuning.add_argument("--n", type=float, default=1110.0)
+    tuning.add_argument("--s-t", type=float, default=1000.0)
+    tuning.add_argument("--clusters", type=int, default=10)
+
+    ablate_g = sub.add_parser(
+        "ablate-g", help="reliability/messages vs link redundancy g"
+    )
+    ablate_g.add_argument("--runs", type=int, default=5)
+    ablate_g.add_argument("--alive", type=float, default=0.7)
+    ablate_g.add_argument(
+        "--values", type=float, nargs="+", default=[1, 2, 5, 10, 20]
+    )
+
+    ablate_c = sub.add_parser(
+        "ablate-c", help="reliability/messages vs gossip constant c"
+    )
+    ablate_c.add_argument("--runs", type=int, default=5)
+    ablate_c.add_argument("--alive", type=float, default=1.0)
+    ablate_c.add_argument(
+        "--values", type=float, nargs="+", default=[0, 1, 2, 3, 5, 8]
+    )
+
+    scale_s = sub.add_parser(
+        "scale-s", help="message growth vs bottom group size (O(S log S))"
+    )
+    scale_s.add_argument("--runs", type=int, default=3)
+    scale_s.add_argument(
+        "--values", type=int, nargs="+", default=[50, 100, 200, 400, 800]
+    )
+
+    scale_t = sub.add_parser(
+        "scale-t", help="message growth vs hierarchy depth (linear in t)"
+    )
+    scale_t.add_argument("--runs", type=int, default=3)
+    scale_t.add_argument(
+        "--values", type=int, nargs="+", default=[1, 2, 3, 4, 5]
+    )
+    scale_t.add_argument("--level-size", type=int, default=100)
+
+    stream = sub.add_parser(
+        "stream", help="steady-state Poisson stream: cost/delivery/parasites"
+    )
+    stream.add_argument("--runs", type=int, default=3)
+    stream.add_argument(
+        "--rates", type=float, nargs="+", default=[0.05, 0.2, 0.5]
+    )
+    return parser
+
+
+def _run_figure_command(args: argparse.Namespace) -> Table:
+    runner = {
+        "fig8": run_figure8,
+        "fig9": run_figure9,
+        "fig10": run_figure10,
+        "fig11": run_figure11,
+    }[args.command]
+    return runner(
+        grid=tuple(args.grid),
+        runs=args.runs,
+        master_seed=args.seed,
+        scenario=_scenario_from(args),
+    )
+
+
+def _run_tuning_command(args: argparse.Namespace) -> Table:
+    table = Table(
+        f"Appendix tuning (pit={args.pit}, t={args.t})",
+        ["baseline", "c", "feasible", "c_window", "c1", "z_bound"],
+        precision=3,
+    )
+    for c in args.c:
+        for result in (
+            match_multicast(c, args.pit, t=args.t, s_t=args.s_t),
+            match_broadcast(c, args.pit, t=args.t, n=args.n, s_t=args.s_t),
+            match_hierarchical(c, args.pit, t=args.t, n_clusters=args.clusters),
+        ):
+            low, high = result.c_window
+            table.add_row(
+                result.baseline,
+                c,
+                result.feasible,
+                f"[{low:.3f}, {high:.3f}]",
+                "-" if result.c1 is None else f"{result.c1:.3f}",
+                "-" if result.z_bound is None else f"{result.z_bound:.3f}",
+            )
+    return table
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command in ("fig8", "fig9", "fig10", "fig11"):
+        print(_run_figure_command(args).render())
+    elif args.command == "compare":
+        table = measured_comparison(
+            scenario=PaperScenario(sizes=tuple(args.sizes)),
+            runs=args.runs,
+            master_seed=args.seed,
+        )
+        print(table.render())
+    elif args.command == "analysis":
+        scenario = ChainScenario(sizes=tuple(args.sizes), p_succ=args.p_succ)
+        for table in comparison_table(scenario).values():
+            print(table.render())
+            print()
+    elif args.command == "tuning":
+        print(_run_tuning_command(args).render())
+    elif args.command == "ablate-g":
+        table = sweep_link_redundancy(
+            g_values=tuple(args.values),
+            alive_fraction=args.alive,
+            runs=args.runs,
+        )
+        print(table.render())
+    elif args.command == "ablate-c":
+        table = sweep_fanout_constant(
+            c_values=tuple(args.values),
+            alive_fraction=args.alive,
+            runs=args.runs,
+        )
+        print(table.render())
+    elif args.command == "scale-s":
+        from repro.experiments.scale import sweep_group_size
+
+        print(
+            sweep_group_size(
+                s_values=tuple(args.values), runs=args.runs
+            ).render()
+        )
+    elif args.command == "scale-t":
+        from repro.experiments.scale import sweep_depth
+
+        print(
+            sweep_depth(
+                t_values=tuple(args.values),
+                level_size=args.level_size,
+                runs=args.runs,
+            ).render()
+        )
+    elif args.command == "stream":
+        from repro.experiments.multievent import stream_table
+
+        print(
+            stream_table(rates=tuple(args.rates), runs=args.runs).render()
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

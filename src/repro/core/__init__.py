@@ -1,0 +1,33 @@
+"""daMulticast — the paper's contribution.
+
+The core package implements §V of the paper:
+
+* :mod:`~repro.core.params` — the per-topic tuning knobs
+  (``b, c, g, a, z, τ``) and derived probabilities
+  (``p_sel = g/S``, ``p_a = a/z``) with validation,
+* :mod:`~repro.core.events` — published events and their identities,
+* :mod:`~repro.core.tables` — the topic table and supertopic table with
+  the paper's MERGE and CHECK semantics,
+* :mod:`~repro.core.dissemination` — Fig. 7's DISSEMINATE and Fig. 5's
+  RECEIVE,
+* :mod:`~repro.core.bootstrap` — Fig. 4's FIND_SUPER_CONTACT task,
+* :mod:`~repro.core.maintenance` — Fig. 6's KEEP_TABLE_UPDATED task,
+* :mod:`~repro.core.process` — the protocol actor gluing the above,
+* :mod:`~repro.core.system` — the user-facing facade used by examples
+  and experiments,
+* :mod:`~repro.core.multiparent` — the §VIII multi-supertopic extension.
+"""
+
+from repro.core.events import Event, EventId
+from repro.core.params import DaMulticastConfig, TopicParams
+from repro.core.process import DaMulticastProcess
+from repro.core.system import DaMulticastSystem
+
+__all__ = [
+    "Event",
+    "EventId",
+    "TopicParams",
+    "DaMulticastConfig",
+    "DaMulticastProcess",
+    "DaMulticastSystem",
+]

@@ -1,0 +1,122 @@
+"""Event dissemination — Fig. 7's DISSEMINATE and Fig. 5's RECEIVE.
+
+A process disseminating an event ``e_Ti``:
+
+1. **Inter-group hand-off** — with probability ``p_sel = g/S`` it elects
+   itself as a link and sends the event to each supertopic-table entry with
+   probability ``p_a = a/z`` (so on average ``g`` processes per group act
+   as links, each reaching ``a`` superprocesses). The publisher itself
+   always acts as a link when ``publisher_always_links`` is set (§IV-C:
+   "p1 sends its events to at least one process from its super topic
+   table"). Note the paper's pseudo-code writes ``RAND() ≥ p_sel``; the
+   analysis (§VI-B) makes clear the election happens *with probability*
+   ``p_sel``, which is what we implement (DESIGN.md, note 1).
+2. **Intra-group gossip** — it forwards the event to ``log(S)+c`` distinct
+   topic-table members (sampling from ``Table − Ω``, Fig. 7 lines 8–14).
+
+RECEIVE (Fig. 5): on the *first* reception of an event, deliver it to the
+application and disseminate it; later copies are ignored.
+
+The functions here are pure protocol logic over a narrow
+:class:`DisseminationPeer` interface, so the same code drives the static
+(paper-simulation) and dynamic (full-protocol) modes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.core.events import Event
+from repro.core.params import TopicParams
+from repro.membership.view import PartialView
+from repro.net.message import EventMessage, Message, Scope
+from repro.core.tables import SuperTopicTable
+from repro.topics.topic import Topic
+
+
+class DisseminationPeer(Protocol):
+    """What dissemination needs to know about the process running it."""
+
+    pid: int
+    topic: Topic
+
+    @property
+    def rng(self) -> random.Random: ...  # pragma: no cover - protocol
+
+    @property
+    def params(self) -> TopicParams: ...  # pragma: no cover - protocol
+
+    @property
+    def group_size(self) -> int: ...  # pragma: no cover - protocol
+
+    def topic_table(self) -> PartialView: ...  # pragma: no cover - protocol
+
+    @property
+    def super_table(self) -> SuperTopicTable: ...  # pragma: no cover - protocol
+
+    def send(self, target: int, message: Message) -> None: ...  # pragma: no cover
+
+
+def disseminate(
+    peer: DisseminationPeer,
+    event: Event,
+    *,
+    force_link: bool = False,
+    arrival_hops: int = 0,
+) -> tuple[int, int]:
+    """Run Fig. 7's DISSEMINATE on ``peer`` for ``event``.
+
+    ``force_link`` bypasses the ``p_sel`` election (used for the publisher
+    when ``publisher_always_links`` is configured). ``arrival_hops`` is the
+    transmission count at which ``peer`` obtained the event (0 for the
+    publisher); forwarded copies carry ``arrival_hops + 1``. Returns
+    ``(intra_sent, inter_sent)`` message counts for diagnostics.
+    """
+    params = peer.params
+    inter_sent = 0
+    next_hops = arrival_hops + 1
+
+    # (1) Hand the event up to the supergroup (Fig. 7 lines 3-7).
+    super_table = peer.super_table
+    if not super_table.is_empty:
+        elected = force_link or peer.rng.random() < params.p_sel(peer.group_size)
+        if elected:
+            for descriptor in super_table.descriptors():
+                if peer.rng.random() < params.p_a:
+                    scope = Scope("inter", peer.topic, descriptor.topic)
+                    peer.send(
+                        descriptor.pid,
+                        EventMessage(
+                            sender=peer.pid,
+                            event=event,
+                            scope=scope,
+                            hops=next_hops,
+                        ),
+                    )
+                    inter_sent += 1
+
+    # (2) Gossip inside our own group (Fig. 7 lines 8-14).
+    fanout = params.fanout(peer.group_size)
+    targets = peer.topic_table().sample(fanout, peer.rng, exclude=(peer.pid,))
+    scope = Scope("intra", peer.topic)
+    for descriptor in targets:
+        peer.send(
+            descriptor.pid,
+            EventMessage(
+                sender=peer.pid, event=event, scope=scope, hops=next_hops
+            ),
+        )
+    return len(targets), inter_sent
+
+
+def should_deliver(event: Event, topic: Topic) -> bool:
+    """Whether ``event`` is relevant to a subscriber of ``topic``.
+
+    True iff ``topic`` includes the event's publication topic. daMulticast
+    only ever routes events to interested processes, so for this protocol
+    the predicate always holds — it is asserted at delivery time to *prove*
+    the paper's no-parasite-messages claim (§I, property 4) rather than
+    assume it.
+    """
+    return event.is_of_topic(topic)

@@ -1,0 +1,331 @@
+"""The daMulticast process actor.
+
+Glues together the protocol pieces for one process ``pl ∈ Π_Ti``:
+
+* its two membership tables (topic table + supertopic table, §V-A.1),
+* the dissemination logic (Fig. 5 RECEIVE / Fig. 7 DISSEMINATE),
+* the bootstrap task (Fig. 4 FIND_SUPER_CONTACT),
+* the maintenance task (Fig. 6 KEEP_TABLE_UPDATED),
+* and, in dynamic mode, the underlying flat membership ([10]) with
+  supertopic-table piggybacking (§V-A.2).
+
+A process runs in one of two modes, matching the paper's two evaluation
+settings: **static** (tables injected once at t=0, no background tasks —
+the §VII simulator) and **dynamic** (the full protocol with join,
+bootstrap, shuffling and repair).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.core.bootstrap import FindSuperContact, handle_req_contact
+from repro.core.dissemination import disseminate, should_deliver
+from repro.core.events import Event, EventFactory, EventId
+from repro.core.maintenance import KeepTableUpdated
+from repro.core.params import DaMulticastConfig, TopicParams
+from repro.core.tables import SuperTopicTable
+from repro.errors import ProtocolError
+from repro.membership.flat import FlatMembership, FlatMembershipConfig
+from repro.membership.overlay import BootstrapOverlay
+from repro.membership.view import PartialView, ProcessDescriptor
+from repro.metrics.collector import DeliveryTracker
+from repro.net.message import (
+    AnsContact,
+    EventMessage,
+    JoinRequest,
+    MembershipGossip,
+    Message,
+    NewProcessReply,
+    NewProcessRequest,
+    Ping,
+    Pong,
+    ReqContact,
+)
+from repro.net.network import Network
+from repro.sim.engine import Engine
+from repro.topics.topic import Topic
+
+DeliveryCallback = Callable[["DaMulticastProcess", Event], None]
+
+
+class DaMulticastProcess:
+    """One process interested in exactly one topic (§III-A)."""
+
+    def __init__(
+        self,
+        pid: int,
+        topic: Topic,
+        config: DaMulticastConfig,
+        *,
+        engine: Engine,
+        network: Network,
+        rng: random.Random,
+        overlay: BootstrapOverlay | None = None,
+        tracker: DeliveryTracker | None = None,
+        delivery_callback: DeliveryCallback | None = None,
+        dynamic: bool = True,
+        membership_config: FlatMembershipConfig | None = None,
+        group_size_hint: int | None = None,
+    ):
+        self.pid = pid
+        self.topic = topic
+        self.config = config
+        self.engine = engine
+        self.network = network
+        self.rng = rng
+        self.descriptor = ProcessDescriptor(pid, topic)
+        self.dynamic = dynamic
+        self._overlay = overlay
+        self._tracker = tracker
+        self._delivery_callback = delivery_callback
+        self._group_size_hint = group_size_hint
+
+        params = config.params_for(topic)
+        self.super_table = SuperTopicTable(params.z)
+        self.seen: set[EventId] = set()
+        self.seen_requests: set[tuple[int, int]] = set()
+        self.delivered: list[Event] = []
+        self.subscribed = False
+        self._event_factory = EventFactory(pid)
+
+        if dynamic:
+            if membership_config is None:
+                expected = group_size_hint if group_size_hint else 16
+                membership_config = FlatMembershipConfig(
+                    capacity=params.table_capacity(max(2, expected))
+                )
+            self.membership: FlatMembership | None = FlatMembership(
+                self.descriptor,
+                topic,
+                membership_config,
+                engine,
+                rng,
+                self.send,
+                super_sample_provider=self._piggyback_super_sample,
+                super_sample_consumer=self._merge_piggybacked_super,
+            )
+            self._static_view: PartialView | None = None
+        else:
+            self.membership = None
+            self._static_view = PartialView(params.table_capacity(
+                max(2, group_size_hint or 2)
+            ))
+
+        self.find_super_contact = FindSuperContact(
+            self,
+            timeout=config.bootstrap_timeout,
+            ttl=config.bootstrap_ttl,
+        )
+        self.maintenance = KeepTableUpdated(
+            self,
+            interval=config.maintain_interval,
+            ping_timeout=config.ping_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Configuration accessors
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> TopicParams:
+        """The parameters governing this process's topic group."""
+        return self.config.params_for(self.topic)
+
+    @property
+    def group_size(self) -> int:
+        """Best-known size ``S_Ti`` of this process's group.
+
+        Injected by the system facade when global knowledge exists (static
+        simulations); otherwise conservatively estimated from the topic
+        table (self + known members).
+        """
+        if self._group_size_hint is not None:
+            return max(1, self._group_size_hint)
+        return len(self.topic_table()) + 1
+
+    def set_group_size(self, size: int) -> None:
+        """Update the group-size hint (used for ``p_sel`` and fan-out).
+
+        In dynamic mode the membership table's capacity follows the [10]
+        law ``(b+1)·log(S)``, so the view is resized to match — a group
+        that grew from 10 to 1000 members needs (and gets) bigger tables.
+        """
+        self._group_size_hint = size
+        if self.membership is not None:
+            capacity = self.params.table_capacity(max(2, size))
+            if capacity != self.membership.view.capacity:
+                self.membership.view.set_capacity(capacity, self.rng)
+
+    def topic_table(self) -> PartialView:
+        """The topic table ``Table_Ti`` (whoever maintains it)."""
+        if self.membership is not None:
+            return self.membership.view
+        assert self._static_view is not None
+        return self._static_view
+
+    def install_static_topic_table(self, view: PartialView) -> None:
+        """Replace the frozen topic table (static mode only).
+
+        Used by :meth:`repro.core.system.DaMulticastSystem.finalize_static_membership`,
+        which knows the final group sizes and therefore the right capacity
+        ``(b+1)·log(S)`` — unknown at process construction time.
+        """
+        if self.dynamic:
+            raise ProtocolError(
+                "static topic tables cannot be installed on a dynamic process"
+            )
+        self._static_view = view
+
+    def neighborhood(self) -> list[ProcessDescriptor]:
+        """The weakly-consistent global contacts (``neighborhood(pl)``)."""
+        if self._overlay is None or self.pid not in self._overlay:
+            return []
+        return self._overlay.neighborhood(self.pid)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (Fig. 5 SUBSCRIBE)
+    # ------------------------------------------------------------------
+    def subscribe(self, contact: ProcessDescriptor | None = None) -> None:
+        """Join the group (Fig. 5 lines 1-4).
+
+        Starts the underlying membership (dynamic mode), the link
+        maintenance task, and — when no supercontact is known — the
+        bootstrap search.
+        """
+        if self.subscribed:
+            return
+        self.subscribed = True
+        if not self.dynamic:
+            return  # static mode: tables are injected externally
+        if self.membership is not None:
+            self.membership.start(contact)
+        self.maintenance.start()
+        if self.super_table.is_empty and not self.topic.is_root:
+            self.find_super_contact.start()
+
+    def unsubscribe(self) -> None:
+        """Stop all protocol activity for this process."""
+        self.subscribed = False
+        if self.membership is not None:
+            self.membership.stop()
+        self.maintenance.stop()
+        self.find_super_contact.stop()
+
+    # ------------------------------------------------------------------
+    # Publishing (Fig. 7 lines 1-2)
+    # ------------------------------------------------------------------
+    def publish(self, payload: Any = None) -> Event:
+        """Publish an event on this process's topic and disseminate it."""
+        self.subscribe()  # Fig. 7 line 2: DISSEMINATE starts with SUBSCRIBE
+        event = self._event_factory.create(self.topic, payload, self.engine.now)
+        if self._tracker is not None:
+            self._tracker.record_publish(event, self.pid)
+        self.seen.add(event.event_id)
+        self._deliver(event, hops=0)
+        disseminate(
+            self,
+            event,
+            force_link=self.config.publisher_always_links,
+            arrival_hops=0,
+        )
+        return event
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        """Network entry point: dispatch one delivered message."""
+        if isinstance(message, EventMessage):
+            self._on_event(message)
+        elif isinstance(message, ReqContact):
+            handle_req_contact(self, message)
+        elif isinstance(message, AnsContact):
+            self.find_super_contact.on_answer(message)
+        elif isinstance(message, NewProcessRequest):
+            self.maintenance.on_new_process_request(message)
+        elif isinstance(message, NewProcessReply):
+            self.maintenance.on_new_process_reply(message)
+        elif isinstance(message, Ping):
+            self.send(message.sender, Pong(sender=self.pid, nonce=message.nonce))
+        elif isinstance(message, Pong):
+            self.super_table.record_proof_of_life(message.sender, self.engine.now)
+        elif isinstance(message, (JoinRequest, MembershipGossip)):
+            if self.membership is not None:
+                self.membership.handle_message(message)
+        else:
+            raise ProtocolError(
+                f"process {self.pid} cannot handle {type(message).__name__}"
+            )
+
+    def send(self, target: int, message: Message) -> None:
+        """Send via the (unreliable) network."""
+        self.network.send(self.pid, target, message)
+
+    # ------------------------------------------------------------------
+    # Event reception (Fig. 5 lines 5-10)
+    # ------------------------------------------------------------------
+    def _on_event(self, message: EventMessage) -> None:
+        event = message.event
+        if event.event_id in self.seen:
+            return
+        self.seen.add(event.event_id)
+        self._deliver(event, hops=message.hops)
+        disseminate(self, event, arrival_hops=message.hops)
+
+    def _deliver(self, event: Event, hops: int = 0) -> None:
+        # The paper's property 4: no parasite messages, ever. Make it a
+        # hard invariant instead of trusting the routing.
+        if not should_deliver(event, self.topic):
+            raise ProtocolError(
+                f"parasite delivery: process {self.pid} (topic "
+                f"{self.topic.name}) got event of {event.topic.name}"
+            )
+        self.delivered.append(event)
+        if self._tracker is not None:
+            self._tracker.record_delivery(
+                self.pid, event, self.engine.now, hops=hops
+            )
+        if self._delivery_callback is not None:
+            self._delivery_callback(self, event)
+
+    # ------------------------------------------------------------------
+    # Supertopic-table piggybacking over membership gossip (§V-A.2)
+    # ------------------------------------------------------------------
+    def _piggyback_super_sample(self) -> tuple[ProcessDescriptor, ...]:
+        return tuple(self.super_table.sample(2, self.rng))
+
+    def _merge_piggybacked_super(
+        self, descriptors: tuple[ProcessDescriptor, ...]
+    ) -> None:
+        by_topic: dict[Topic, list[ProcessDescriptor]] = defaultdict(list)
+        for descriptor in descriptors:
+            by_topic[descriptor.topic].append(descriptor)
+        for topic, group in by_topic.items():
+            self.super_table.adopt(topic, group, self.rng, own_topic=self.topic)
+        # A fully initialized table makes the search redundant (Fig. 4:
+        # "the aim of disseminating the supertopic table ... is to reduce
+        # the number of messages during the initialization").
+        if self.super_table.targets_direct_super_of(self.topic):
+            self.find_super_contact.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def memory_footprint(self) -> int:
+        """Measured membership state: topic-table + supertopic-table entries.
+
+        This is the quantity §VI-C bounds by ``ln(S)+c+z``; benchmarks
+        report it measured, not assumed.
+        """
+        return len(self.topic_table()) + len(self.super_table)
+
+    def __repr__(self) -> str:
+        mode = "dynamic" if self.dynamic else "static"
+        return (
+            f"DaMulticastProcess(pid={self.pid}, topic={self.topic.name}, "
+            f"{mode}, table={len(self.topic_table())}, "
+            f"super={len(self.super_table)})"
+        )

@@ -1,0 +1,332 @@
+"""DaMulticastSystem — the user-facing facade.
+
+Bundles a :class:`~repro.runtime.SimulationHarness` with process/group
+management so applications, examples and experiments can write::
+
+    system = DaMulticastSystem(seed=1, mode="dynamic")
+    sensors = system.add_group(".plant.sensors", 50)
+    system.run(until=30)                    # let membership converge
+    event = system.publish(".plant.sensors", payload={"temp": 21.5})
+    system.run(until=40)
+    system.delivered_fraction(event, ".plant.sensors")
+
+Two modes mirror the paper's two settings:
+
+* ``mode="static"`` — the §VII simulator: membership tables are drawn once
+  from global knowledge by :meth:`finalize_static_membership` and never
+  change; no background tasks run, so a publication runs to quiescence.
+* ``mode="dynamic"`` — the full protocol: joins go through the bootstrap
+  overlay, FIND_SUPER_CONTACT floods, tables shuffle and self-repair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.events import Event
+from repro.core.params import DaMulticastConfig
+from repro.core.process import DaMulticastProcess, DeliveryCallback
+from repro.errors import ConfigError, UnknownTopic
+from repro.failures.model import FailureModel
+from repro.membership.flat import FlatMembershipConfig
+from repro.membership.overlay import BootstrapOverlay
+from repro.membership.static import draw_topic_table, nearest_populated_super
+from repro.membership.view import ProcessDescriptor
+from repro.metrics.delivery import all_received, delivered_fraction
+from repro.net.latency import LatencyModel, ZERO_LATENCY
+from repro.runtime import SimulationHarness
+from repro.topics.hierarchy import TopicHierarchy
+from repro.topics.topic import Topic
+
+
+class DaMulticastSystem:
+    """A complete daMulticast deployment on one simulation harness."""
+
+    def __init__(
+        self,
+        *,
+        config: DaMulticastConfig | None = None,
+        seed: int = 0,
+        p_success: float = 1.0,
+        latency: LatencyModel = ZERO_LATENCY,
+        failure_model: FailureModel | None = None,
+        mode: str = "dynamic",
+        overlay_degree: int = 5,
+        trace: bool = False,
+        delivery_callback: DeliveryCallback | None = None,
+    ):
+        if mode not in ("static", "dynamic"):
+            raise ConfigError(f"mode must be 'static' or 'dynamic', got {mode!r}")
+        self.config = config or DaMulticastConfig()
+        self.mode = mode
+        self.harness = SimulationHarness(
+            seed=seed,
+            p_success=p_success,
+            latency=latency,
+            failure_model=failure_model,
+            trace=trace,
+        )
+        self.hierarchy = TopicHierarchy()
+        self.overlay = (
+            BootstrapOverlay(overlay_degree) if mode == "dynamic" else None
+        )
+        self._groups: dict[Topic, list[DaMulticastProcess]] = {}
+        self._processes: dict[int, DaMulticastProcess] = {}
+        self._delivery_callback = delivery_callback
+        self._static_finalized = False
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The discrete-event engine."""
+        return self.harness.engine
+
+    @property
+    def network(self):
+        """The unreliable network."""
+        return self.harness.network
+
+    @property
+    def stats(self):
+        """Network statistics (message counts per kind/group)."""
+        return self.harness.stats
+
+    @property
+    def tracker(self):
+        """The delivery tracker (who received which event)."""
+        return self.harness.tracker
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.harness.now
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Advance the simulation (see :meth:`repro.sim.engine.Engine.run`)."""
+        return self.harness.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run to quiescence (static mode; dynamic mode never idles)."""
+        return self.harness.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_process(
+        self,
+        topic: Topic | str,
+        *,
+        subscribe: bool = True,
+        membership_config: FlatMembershipConfig | None = None,
+    ) -> DaMulticastProcess:
+        """Create one process interested in ``topic`` and wire it up.
+
+        In dynamic mode the process immediately joins: it gets overlay
+        contacts, a same-group membership contact when one exists, and its
+        background tasks start. In static mode it stays inert until
+        :meth:`finalize_static_membership`.
+        """
+        resolved = self.hierarchy.add(topic)
+        pid = self.harness.next_pid()
+        process = DaMulticastProcess(
+            pid,
+            resolved,
+            self.config,
+            engine=self.engine,
+            network=self.network,
+            rng=self.harness.rngs.stream(f"process/{pid}"),
+            overlay=self.overlay,
+            tracker=self.tracker,
+            delivery_callback=self._delivery_callback,
+            dynamic=(self.mode == "dynamic"),
+            membership_config=membership_config,
+            group_size_hint=None,
+        )
+        self.network.register(process)
+        group = self._groups.setdefault(resolved, [])
+        group.append(process)
+        self._processes[pid] = process
+        self._refresh_group_size(resolved)
+
+        if self.mode == "dynamic":
+            assert self.overlay is not None
+            self.overlay.add_process(
+                process.descriptor, self.harness.rngs.stream("overlay")
+            )
+            if subscribe:
+                contact = self._membership_contact_for(process)
+                process.subscribe(contact)
+        elif subscribe:
+            process.subscribe()
+        return process
+
+    def add_group(
+        self,
+        topic: Topic | str,
+        count: int,
+        *,
+        subscribe: bool = True,
+    ) -> list[DaMulticastProcess]:
+        """Create ``count`` processes interested in ``topic``."""
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        return [
+            self.add_process(topic, subscribe=subscribe) for _ in range(count)
+        ]
+
+    def _membership_contact_for(
+        self, process: DaMulticastProcess
+    ) -> ProcessDescriptor | None:
+        """A random existing member of the same group, if any."""
+        peers = [
+            p for p in self._groups[process.topic] if p.pid != process.pid
+        ]
+        if not peers:
+            return None
+        chosen = self.harness.rngs.stream("contacts").choice(peers)
+        return chosen.descriptor
+
+    def _refresh_group_size(self, topic: Topic) -> None:
+        members = self._groups[topic]
+        for member in members:
+            member.set_group_size(len(members))
+
+    # ------------------------------------------------------------------
+    # Static-mode membership injection (§VII)
+    # ------------------------------------------------------------------
+    def finalize_static_membership(self) -> None:
+        """Draw all membership tables once, from global knowledge.
+
+        Reproduces the paper's simulation setting: each topic table is a
+        uniform sample of ``(b+1)·log(S)`` group members, each supertopic
+        table a uniform sample of ``z`` members of the nearest populated
+        supergroup. Tables never change afterwards.
+        """
+        if self.mode != "static":
+            raise ConfigError("finalize_static_membership requires mode='static'")
+        rng = self.harness.rngs.stream("static-membership")
+        population: dict[Topic, list[ProcessDescriptor]] = {
+            topic: [p.descriptor for p in members]
+            for topic, members in self._groups.items()
+        }
+        for topic, members in self._groups.items():
+            params = self.config.params_for(topic)
+            capacity = params.table_capacity(len(members))
+            super_topic = nearest_populated_super(topic, population)
+            super_members = population.get(super_topic, []) if super_topic else []
+            for process in members:
+                process.install_static_topic_table(
+                    draw_topic_table(
+                        process.descriptor, population[topic], capacity, rng
+                    )
+                )
+                if super_topic is not None and super_members:
+                    z = params.z
+                    sampled = (
+                        super_members
+                        if z >= len(super_members)
+                        else rng.sample(super_members, z)
+                    )
+                    process.super_table.clear()
+                    process.super_table.adopt(
+                        super_topic, sampled, rng, own_topic=topic
+                    )
+        self._static_finalized = True
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher: DaMulticastProcess | None = None,
+    ) -> Event:
+        """Publish an event on ``topic``.
+
+        ``publisher`` defaults to a uniformly chosen *alive* member of the
+        topic's group (the §VII setting publishes from an alive process).
+        """
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        if publisher is None:
+            members = self._groups.get(resolved, [])
+            alive = [p for p in members if self.harness.is_alive(p.pid)]
+            if not alive:
+                raise UnknownTopic(
+                    f"no alive process interested in {resolved.name} to publish from"
+                )
+            publisher = self.harness.rngs.stream("publish").choice(alive)
+        if self.mode == "static" and not self._static_finalized:
+            raise ConfigError(
+                "static mode: call finalize_static_membership() before publishing"
+            )
+        return publisher.publish(payload)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> list[DaMulticastProcess]:
+        """All processes, in creation order."""
+        return [self._processes[pid] for pid in sorted(self._processes)]
+
+    def process(self, pid: int) -> DaMulticastProcess:
+        """Process lookup by id."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise UnknownTopic(f"no process with pid {pid}") from None
+
+    def group(self, topic: Topic | str) -> list[DaMulticastProcess]:
+        """All processes interested in exactly ``topic``."""
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        return list(self._groups.get(resolved, []))
+
+    def group_pids(self, topic: Topic | str) -> list[int]:
+        """Pids of :meth:`group`."""
+        return [p.pid for p in self.group(topic)]
+
+    def interests(self) -> Mapping[int, Topic]:
+        """pid → subscribed topic, for parasite accounting."""
+        return {pid: p.topic for pid, p in self._processes.items()}
+
+    def topics(self) -> list[Topic]:
+        """All topics with at least one interested process."""
+        return sorted(self._groups)
+
+    def delivered_fraction(
+        self,
+        event: Event,
+        topic: Topic | str,
+        *,
+        alive_only: bool = True,
+    ) -> float:
+        """Figs. 10/11 quantity: fraction of the group that delivered."""
+        pids = self.group_pids(topic)
+        is_alive = self.harness.is_alive if alive_only else (lambda pid: True)
+        return delivered_fraction(self.tracker, event.event_id, pids, is_alive)
+
+    def all_received(
+        self,
+        event: Event,
+        topic: Topic | str,
+        *,
+        alive_only: bool = True,
+    ) -> bool:
+        """§VI-D reliability indicator for one run."""
+        pids = self.group_pids(topic)
+        is_alive = self.harness.is_alive if alive_only else (lambda pid: True)
+        return all_received(self.tracker, event.event_id, pids, is_alive)
+
+    def memory_footprints(self, topic: Topic | str) -> list[int]:
+        """Measured membership state per process of a group (§VI-C)."""
+        return [p.memory_footprint for p in self.group(topic)]
+
+    def __repr__(self) -> str:
+        return (
+            f"DaMulticastSystem(mode={self.mode!r}, "
+            f"processes={len(self._processes)}, topics={len(self._groups)})"
+        )

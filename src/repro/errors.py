@@ -1,0 +1,61 @@
+"""Exception hierarchy for the daMulticast reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its documented domain.
+
+    Raised eagerly at construction time (e.g. ``a > z`` in
+    :class:`repro.core.params.TopicParams`) rather than lazily during a
+    simulation, so misconfigured experiments fail fast.
+    """
+
+
+class TopicError(ReproError):
+    """Base class for topic-related errors."""
+
+
+class InvalidTopicName(TopicError):
+    """A topic name does not follow the dotted-path syntax."""
+
+
+class UnknownTopic(TopicError):
+    """A topic was used that is not registered in the hierarchy."""
+
+
+class HierarchyError(TopicError):
+    """The topic hierarchy is structurally invalid (cycle, orphan...)."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped engine."""
+
+
+class NetworkError(ReproError):
+    """A message could not be routed (unknown actor, closed network)."""
+
+
+class UnknownActor(NetworkError):
+    """A message was addressed to a process id never registered."""
+
+
+class MembershipError(ReproError):
+    """A membership table was used in an invalid way."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message violated the daMulticast state machine."""

@@ -1,0 +1,168 @@
+"""§VI-E measured comparisons: all four algorithms on one scenario.
+
+For each algorithm — daMulticast and baselines (a), (b), (c) — one
+publication is simulated on an identical substrate (same sizes, channel
+loss, seed discipline) and we measure what §VI-E tabulates:
+
+* total event messages sent (message complexity),
+* per-process membership entries and table counts (memory complexity),
+* delivery among the interested processes (reliability),
+* parasite deliveries (the efficiency property daMulticast guarantees).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.baselines.broadcast import GossipBroadcastSystem
+from repro.baselines.hierarchical import HierarchicalGossipSystem
+from repro.baselines.multicast import GossipMulticastSystem
+from repro.experiments.runner import aggregate_runs
+from repro.metrics.delivery import delivered_fraction, parasite_deliveries
+from repro.metrics.report import Table
+from repro.sim.rng import derive_seed
+from repro.workloads.scenarios import PaperScenario
+
+
+def _measure_damulticast(
+    scenario: PaperScenario, seed: int
+) -> Mapping[str, float]:
+    built = scenario.build(seed=seed, alive_fraction=1.0)
+    event = built.publish_and_run()
+    system = built.system
+    interested_pids = [
+        p.pid
+        for p in system.processes
+        if p.topic.includes(built.publish_topic)
+    ]
+    footprints = [
+        p.memory_footprint
+        for p in system.processes
+    ]
+    metrics = {
+        "event_messages": float(system.stats.event_messages_sent()),
+        "memory_mean": sum(footprints) / len(footprints),
+        "memory_max": float(max(footprints)),
+        "tables_max": 2.0,
+        "delivered_interested": delivered_fraction(
+            system.tracker, event.event_id, interested_pids
+        ),
+    }
+    # Parasite check: publish on a *mid-level* topic — subscribers of its
+    # subtopics are NOT interested, so broadcast-style algorithms leak.
+    if len(built.topics) > 1:
+        system.publish(built.topics[1])
+        system.run_until_idle()
+    metrics["parasites"] = float(
+        parasite_deliveries(system.tracker, system.interests())
+    )
+    return metrics
+
+
+def _populate_baseline(system, scenario: PaperScenario):
+    for topic, size in zip(scenario.topics(), scenario.sizes):
+        system.add_group(topic, size)
+    system.finalize_membership()
+    return system
+
+
+def _measure_baseline(system, scenario: PaperScenario) -> Mapping[str, float]:
+    topics = scenario.topics()
+    publish_topic = topics[scenario.publish_level]
+    event = system.publish(publish_topic)
+    system.run_until_idle()
+    interested_pids = [p.pid for p in system.interested_in(publish_topic)]
+    footprints = system.memory_footprints()
+    tables = [p.table_count for p in system.processes]
+    metrics = {
+        "event_messages": float(system.stats.event_messages_sent()),
+        "memory_mean": sum(footprints) / len(footprints),
+        "memory_max": float(max(footprints)),
+        "tables_max": float(max(tables)),
+        "delivered_interested": delivered_fraction(
+            system.tracker, event.event_id, interested_pids
+        ),
+    }
+    # Mid-level publication exposes parasite deliveries (see above).
+    if len(topics) > 1:
+        system.publish(topics[1])
+        system.run_until_idle()
+    metrics["parasites"] = float(system.parasite_count())
+    return metrics
+
+
+def run_all_algorithms_once(
+    scenario: PaperScenario, seed: int
+) -> dict[str, Mapping[str, float]]:
+    """One measured run of all four algorithms with aligned settings."""
+    common = dict(
+        p_success=scenario.p_succ,
+        b=scenario.b,
+        c=scenario.c,
+        log_base=scenario.fanout_log_base,
+    )
+    results: dict[str, Mapping[str, float]] = {}
+    results["daMulticast"] = _measure_damulticast(scenario, seed)
+
+    broadcast = _populate_baseline(
+        GossipBroadcastSystem(seed=derive_seed(seed, "a"), **common), scenario
+    )
+    results["broadcast (a)"] = _measure_baseline(broadcast, scenario)
+
+    multicast = _populate_baseline(
+        GossipMulticastSystem(seed=derive_seed(seed, "b"), **common), scenario
+    )
+    results["multicast (b)"] = _measure_baseline(multicast, scenario)
+
+    total = sum(scenario.sizes)
+    n_clusters = max(2, round(total ** 0.5 / 3))
+    hierarchical = _populate_baseline(
+        HierarchicalGossipSystem(
+            seed=derive_seed(seed, "c"), n_clusters=n_clusters, **common
+        ),
+        scenario,
+    )
+    results["hierarchical (c)"] = _measure_baseline(hierarchical, scenario)
+    return results
+
+
+def measured_comparison(
+    *,
+    scenario: PaperScenario | None = None,
+    runs: int = 3,
+    master_seed: int = 0,
+) -> Table:
+    """The §VI-E table, measured: one row per algorithm (means over runs)."""
+    scenario = scenario or PaperScenario()
+    per_algorithm: dict[str, list[Mapping[str, float]]] = {}
+    for j in range(runs):
+        seed = derive_seed(master_seed, f"comparison/{j}")
+        for name, metrics in run_all_algorithms_once(scenario, seed).items():
+            per_algorithm.setdefault(name, []).append(metrics)
+
+    table = Table(
+        "§VI-E measured comparison (means over "
+        f"{runs} runs; publication on the bottom topic)",
+        [
+            "algorithm",
+            "event_messages",
+            "memory_mean",
+            "memory_max",
+            "tables_max",
+            "delivered_interested",
+            "parasites",
+        ],
+        precision=2,
+    )
+    for name, samples in per_algorithm.items():
+        means, _ = aggregate_runs(samples)
+        table.add_row(
+            name,
+            means["event_messages"],
+            means["memory_mean"],
+            means["memory_max"],
+            means["tables_max"],
+            means["delivered_interested"],
+            means["parasites"],
+        )
+    return table

@@ -1,0 +1,198 @@
+"""Figures 8–11 (§VII): the paper's four simulation plots.
+
+Each ``run_figureN`` sweeps the fraction of alive processes over a grid
+(the figures' x-axis), runs the §VII scenario several times per point with
+derived seeds, and returns a :class:`~repro.metrics.report.Table` whose
+columns are the paper's plotted series:
+
+* Fig. 8 — events sent inside each group (T2, T1, T0),
+* Fig. 9 — events sent between groups (T2→T1, T1→T0),
+* Fig. 10 — fraction of processes receiving the event, stillborn failures,
+* Fig. 11 — the same under dynamic (weakly-consistent) failures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.metrics.report import Table
+from repro.workloads.scenarios import PaperScenario
+
+#: The figures' x-axis: percentage of alive processes, 0 → 1.
+DEFAULT_GRID: tuple[float, ...] = (
+    0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+def _run_scenario_once(
+    alive_fraction: float,
+    seed: int,
+    *,
+    scenario: PaperScenario,
+    failure_mode: str,
+) -> Mapping[str, float]:
+    """One §VII run; returns every metric any of the figures needs."""
+    built = scenario.build(
+        seed=seed, alive_fraction=alive_fraction, failure_mode=failure_mode
+    )
+    built.publish_and_run()
+    metrics: dict[str, float] = {}
+    topics = built.topics  # [T0, T1, ..., Tt] root-first
+    intra = built.intra_group_messages()
+    for level, topic in enumerate(topics):
+        metrics[f"intra_T{level}"] = float(intra[topic])
+    for (lower, upper), count in built.inter_group_messages().items():
+        lower_level = topics.index(lower)
+        upper_level = topics.index(upper)
+        metrics[f"inter_T{lower_level}_T{upper_level}"] = float(count)
+    fractions = built.delivered_fractions()
+    for level, topic in enumerate(topics):
+        metrics[f"received_T{level}"] = fractions[topic]
+    flags = built.all_received_flags()
+    for level, topic in enumerate(topics):
+        metrics[f"all_received_T{level}"] = 1.0 if flags[topic] else 0.0
+    return metrics
+
+
+def _sweep(
+    *,
+    grid: Sequence[float],
+    runs: int,
+    master_seed: int,
+    scenario: PaperScenario,
+    failure_mode: str,
+    label: str,
+) -> SweepResult:
+    return run_sweep(
+        lambda alive, seed: _run_scenario_once(
+            alive, seed, scenario=scenario, failure_mode=failure_mode
+        ),
+        grid,
+        runs=runs,
+        master_seed=master_seed,
+        label=label,
+    )
+
+
+def _table_from_sweep(
+    sweep: SweepResult, title: str, columns: Mapping[str, str]
+) -> Table:
+    """Build a report table from selected sweep metrics.
+
+    ``columns`` maps metric key → column header, in display order.
+    """
+    table = Table(title, ["alive_fraction", *columns.values()], precision=3)
+    for index, point in enumerate(sweep.points):
+        row = [point]
+        for metric in columns:
+            row.append(sweep.means[metric][index])
+        table.add_row(*row)
+    return table
+
+
+def run_figure8(
+    *,
+    grid: Sequence[float] = DEFAULT_GRID,
+    runs: int = 5,
+    master_seed: int = 0,
+    scenario: PaperScenario | None = None,
+) -> Table:
+    """Fig. 8: number of events sent in each group vs alive fraction."""
+    scenario = scenario or PaperScenario()
+    sweep = _sweep(
+        grid=grid,
+        runs=runs,
+        master_seed=master_seed,
+        scenario=scenario,
+        failure_mode="stillborn",
+        label="fig8",
+    )
+    depth = scenario.depth
+    columns = {
+        f"intra_T{level}": f"msgs_T{level}" for level in range(depth, -1, -1)
+    }
+    return _table_from_sweep(
+        sweep, "Fig. 8 — events sent within each group", columns
+    )
+
+
+def run_figure9(
+    *,
+    grid: Sequence[float] = DEFAULT_GRID,
+    runs: int = 5,
+    master_seed: int = 0,
+    scenario: PaperScenario | None = None,
+) -> Table:
+    """Fig. 9: number of inter-group events vs alive fraction."""
+    scenario = scenario or PaperScenario()
+    sweep = _sweep(
+        grid=grid,
+        runs=runs,
+        master_seed=master_seed,
+        scenario=scenario,
+        failure_mode="stillborn",
+        label="fig9",
+    )
+    depth = scenario.depth
+    columns = {
+        f"inter_T{level}_T{level - 1}": f"T{level}->T{level - 1}"
+        for level in range(depth, 0, -1)
+    }
+    return _table_from_sweep(
+        sweep, "Fig. 9 — events sent between groups", columns
+    )
+
+
+def run_figure10(
+    *,
+    grid: Sequence[float] = DEFAULT_GRID,
+    runs: int = 5,
+    master_seed: int = 0,
+    scenario: PaperScenario | None = None,
+) -> Table:
+    """Fig. 10: reception fraction per group, stillborn failures."""
+    scenario = scenario or PaperScenario()
+    sweep = _sweep(
+        grid=grid,
+        runs=runs,
+        master_seed=master_seed,
+        scenario=scenario,
+        failure_mode="stillborn",
+        label="fig10",
+    )
+    depth = scenario.depth
+    columns = {
+        f"received_T{level}": f"recv_T{level}"
+        for level in range(depth, -1, -1)
+    }
+    return _table_from_sweep(
+        sweep, "Fig. 10 — reliability (stillborn processes)", columns
+    )
+
+
+def run_figure11(
+    *,
+    grid: Sequence[float] = DEFAULT_GRID,
+    runs: int = 5,
+    master_seed: int = 0,
+    scenario: PaperScenario | None = None,
+) -> Table:
+    """Fig. 11: reception fraction per group, dynamic failures."""
+    scenario = scenario or PaperScenario()
+    sweep = _sweep(
+        grid=grid,
+        runs=runs,
+        master_seed=master_seed,
+        scenario=scenario,
+        failure_mode="dynamic",
+        label="fig11",
+    )
+    depth = scenario.depth
+    columns = {
+        f"received_T{level}": f"recv_T{level}"
+        for level in range(depth, -1, -1)
+    }
+    return _table_from_sweep(
+        sweep, "Fig. 11 — reliability (dynamically failed processes)", columns
+    )

@@ -1,0 +1,92 @@
+"""Seeded sweeps with aggregation.
+
+An experiment is a function ``run(point, seed) -> dict[str, float]``.
+:func:`run_sweep` evaluates it at every grid point with ``runs`` derived
+seeds each and aggregates the metric dict per point (mean and standard
+deviation). Seeds are derived deterministically from one master seed, so
+whole sweeps are reproducible and individually re-runnable.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.rng import derive_seed
+
+RunFn = Callable[[float, int], Mapping[str, float]]
+
+
+@dataclass
+class SweepResult:
+    """Aggregated metrics for one sweep."""
+
+    points: list[float] = field(default_factory=list)
+    means: dict[str, list[float]] = field(default_factory=dict)
+    stds: dict[str, list[float]] = field(default_factory=dict)
+    runs: int = 0
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        """``[(x, mean_y), ...]`` for one metric."""
+        return list(zip(self.points, self.means[metric]))
+
+    def metric_names(self) -> list[str]:
+        """All aggregated metric names, sorted."""
+        return sorted(self.means)
+
+
+def aggregate_runs(
+    samples: Sequence[Mapping[str, float]]
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Mean and standard deviation per metric over repeated runs."""
+    if not samples:
+        raise ConfigError("cannot aggregate zero runs")
+    keys = set(samples[0])
+    for sample in samples[1:]:
+        if set(sample) != keys:
+            raise ConfigError("runs returned inconsistent metric keys")
+    means: dict[str, float] = {}
+    stds: dict[str, float] = {}
+    for key in keys:
+        values = [float(sample[key]) for sample in samples]
+        means[key] = statistics.fmean(values)
+        stds[key] = statistics.stdev(values) if len(values) > 1 else 0.0
+    return means, stds
+
+
+def run_sweep(
+    run: RunFn,
+    grid: Sequence[float],
+    *,
+    runs: int = 5,
+    master_seed: int = 0,
+    label: str = "sweep",
+) -> SweepResult:
+    """Evaluate ``run`` at every grid point, ``runs`` times each.
+
+    Seed for run ``j`` at point ``x`` is ``derive_seed(master_seed,
+    f"{label}/{x}/{j}")`` — independent across points and runs, stable
+    across processes.
+    """
+    if runs < 1:
+        raise ConfigError(f"runs must be >= 1, got {runs}")
+    if not grid:
+        raise ConfigError("grid must not be empty")
+    if math.isnan(sum(grid)):
+        raise ConfigError("grid contains NaN")
+    result = SweepResult(runs=runs)
+    for point in grid:
+        samples = [
+            run(point, derive_seed(master_seed, f"{label}/{point}/{j}"))
+            for j in range(runs)
+        ]
+        means, stds = aggregate_runs(samples)
+        result.points.append(point)
+        for key, value in means.items():
+            result.means.setdefault(key, []).append(value)
+        for key, value in stds.items():
+            result.stds.setdefault(key, []).append(value)
+    return result

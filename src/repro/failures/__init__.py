@@ -1,0 +1,34 @@
+"""Failure models: who is alive, and who *looks* alive to whom.
+
+The paper evaluates two regimes:
+
+* **Stillborn failures** (Figs. 8–10): a fraction of processes "fail at the
+  very beginning" and the frozen membership tables keep pointing at them.
+  → :class:`~repro.failures.stillborn.StillbornFailures`.
+* **Dynamic failures** (Fig. 11): "a process can appear to be failed for a
+  process while appearing alive for another one (to simulate a weakly
+  consistent membership algorithm)".
+  → :class:`~repro.failures.dynamic.DynamicFailures` with ``per_attempt``
+  (transient, re-sampled per transmission) and ``per_pair`` (each observer
+  holds a fixed wrong opinion) interpretations.
+
+Beyond the paper's figures, :class:`~repro.failures.churn.ChurnSchedule`
+models crash/recover timelines (§III-A allows crash-recovery), used by the
+dynamic-protocol tests and the failure-injection example.
+"""
+
+from repro.failures.model import AlwaysAlive, FailureModel
+from repro.failures.stillborn import StillbornFailures, sample_stillborn
+from repro.failures.dynamic import DynamicFailures
+from repro.failures.churn import ChurnSchedule
+from repro.failures.injector import FailureCampaign
+
+__all__ = [
+    "FailureModel",
+    "AlwaysAlive",
+    "StillbornFailures",
+    "sample_stillborn",
+    "DynamicFailures",
+    "ChurnSchedule",
+    "FailureCampaign",
+]

@@ -1,0 +1,48 @@
+"""The failure-model interface consulted by the network.
+
+A failure model answers two distinct questions:
+
+* :meth:`FailureModel.is_alive` — ground truth: is the process actually up
+  at time ``now``? (Dead targets drop incoming messages; dead senders
+  should not be sending, and the network guards against it.)
+* :meth:`FailureModel.transmission_blocked` — perception: does *this
+  particular transmission* fail because the target looks failed from the
+  sender's side? This is the hook used by Fig. 11's weakly-consistent
+  failures, where the ground truth says "alive" but individual views
+  disagree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class FailureModel(Protocol):
+    """Oracle for process liveness and per-transmission perception."""
+
+    def is_alive(self, pid: int, now: float) -> bool:
+        """Ground-truth liveness of ``pid`` at time ``now``."""
+        ...  # pragma: no cover - protocol
+
+    def transmission_blocked(
+        self, sender: int, target: int, now: float, rng: random.Random
+    ) -> bool:
+        """Whether this transmission is lost to a perceived failure."""
+        ...  # pragma: no cover - protocol
+
+
+class AlwaysAlive:
+    """The failure-free model (default)."""
+
+    def is_alive(self, pid: int, now: float) -> bool:
+        return True
+
+    def transmission_blocked(
+        self, sender: int, target: int, now: float, rng: random.Random
+    ) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "AlwaysAlive()"

@@ -1,0 +1,39 @@
+"""Gossip-based membership: the substrate daMulticast builds on.
+
+The paper relies on "the 'flat' membership algorithm presented in [10]"
+(Kermarrec, Massoulié, Ganesh — *Probabilistic Reliable Dissemination in
+Large-Scale Systems*) "which uses tables of size ``(b+1)·ln(S)``". This
+package implements:
+
+* :class:`~repro.membership.view.ProcessDescriptor` /
+  :class:`~repro.membership.view.PartialView` — bounded membership tables
+  with uniform random eviction and sampling,
+* :class:`~repro.membership.flat.FlatMembership` — the dynamic gossip
+  membership (join dissemination, periodic view shuffles, failure expiry,
+  and the §V-A.2 piggybacking hook for supertopic-table entries),
+* :mod:`~repro.membership.static` — the paper's §VII simulation mode where
+  all tables are drawn once at time zero and frozen,
+* :class:`~repro.membership.overlay.BootstrapOverlay` — the weakly
+  consistent global overlay providing ``neighborhood(p)`` for the Fig. 4
+  bootstrap search.
+"""
+
+from repro.membership.view import PartialView, ProcessDescriptor
+from repro.membership.flat import FlatMembership, FlatMembershipConfig
+from repro.membership.overlay import BootstrapOverlay
+from repro.membership.static import (
+    draw_super_table,
+    draw_topic_table,
+    static_table_capacity,
+)
+
+__all__ = [
+    "ProcessDescriptor",
+    "PartialView",
+    "FlatMembership",
+    "FlatMembershipConfig",
+    "BootstrapOverlay",
+    "draw_topic_table",
+    "draw_super_table",
+    "static_table_capacity",
+]

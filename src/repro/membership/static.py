@@ -1,0 +1,90 @@
+"""Static membership initialization — the paper's §VII simulation mode.
+
+"In the simulation, the membership tables (topic table and supertopic
+table) of a process are determined statically. These tables are initialized
+at the beginning of the simulation and do not change." This module draws
+those frozen tables from global knowledge:
+
+* the topic table of a process in group ``Ti`` is a uniform sample of
+  ``(b+1)·log(S_Ti)`` other group members (the [10] table size),
+* the supertopic table is a uniform sample of ``z`` members of the nearest
+  non-empty supergroup (§III-B: if nobody is interested in ``super(Ti)``,
+  the table points at the first supertopic, by hierarchy level, that
+  induces ``Ti``).
+
+The same helpers serve the baselines, which use identically-drawn tables
+for their own group structures (the paper's comparison holds "for fairness,
+all approaches use the same underlying membership algorithm").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.membership.view import PartialView, ProcessDescriptor
+from repro.topics.topic import Topic
+
+
+def static_table_capacity(
+    group_size: int, b: float, log_base: float = math.e
+) -> int:
+    """The [10] topic-table size ``(b+1)·log(S)``, at least 1.
+
+    ``log_base`` follows the owning protocol's fan-out base (see DESIGN.md
+    note 2); the ceiling keeps tiny groups functional.
+    """
+    if group_size < 1:
+        raise ConfigError(f"group size must be >= 1, got {group_size}")
+    if group_size == 1:
+        return 1
+    return max(1, math.ceil((b + 1) * math.log(group_size, log_base)))
+
+
+def draw_topic_table(
+    member: ProcessDescriptor,
+    group: Sequence[ProcessDescriptor],
+    capacity: int,
+    rng: random.Random,
+) -> PartialView:
+    """A uniform sample of ``capacity`` group members, excluding ``member``."""
+    view = PartialView(capacity)
+    others = [d for d in group if d.pid != member.pid]
+    chosen = others if capacity >= len(others) else rng.sample(others, capacity)
+    for descriptor in chosen:
+        view.add(descriptor, rng)
+    return view
+
+
+def draw_super_table(
+    super_group: Sequence[ProcessDescriptor],
+    z: int,
+    rng: random.Random,
+) -> PartialView:
+    """A uniform sample of ``z`` supergroup members (the ``sTable``)."""
+    view = PartialView(max(1, z))
+    chosen = (
+        list(super_group) if z >= len(super_group) else rng.sample(list(super_group), z)
+    )
+    for descriptor in chosen:
+        view.add(descriptor, rng)
+    return view
+
+
+def nearest_populated_super(
+    topic: Topic,
+    population: Mapping[Topic, Sequence[ProcessDescriptor]],
+) -> Topic | None:
+    """The first supertopic (walking up) that has interested processes.
+
+    Implements §III-B's ``sTable`` target selection: the direct supertopic
+    if populated, otherwise "the next immediate supertopic ... that induces
+    Ti"; ``None`` when every supertopic up to the root is empty.
+    """
+    for ancestor in topic.ancestors(include_self=False):
+        members = population.get(ancestor)
+        if members:
+            return ancestor
+    return None

@@ -1,0 +1,181 @@
+"""Process descriptors and bounded partial views (membership tables).
+
+A :class:`PartialView` is the data structure behind both of the paper's
+tables: the topic table ``Table_Ti`` (capacity ``(b+1)·log(S)``, maintained
+by the underlying membership algorithm) and the supertopic table
+``sTable_Ti`` (constant capacity ``z``). It stores
+:class:`ProcessDescriptor` entries, evicts uniformly at random on overflow
+(which keeps views close to uniform samples of the group — the property the
+gossip analysis of [10] needs), and supports the paper's MERGE semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError, MembershipError
+from repro.topics.topic import Topic
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ProcessDescriptor:
+    """Identity of a process as stored in membership tables.
+
+    ``topic`` is the topic the process is interested in (§III-A assumes one
+    topic of interest per process); tables never need more than this pair.
+    """
+
+    pid: int
+    topic: Topic
+
+
+class PartialView:
+    """A bounded, duplicate-free table of :class:`ProcessDescriptor`.
+
+    Insertion order is preserved (oldest first), which gives the supertopic
+    table a natural notion of "favorite" entries (footnote 5: MERGE keeps
+    the favorite superprocesses): the longest-held live entries survive.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"view capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[int, ProcessDescriptor] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(
+        self, descriptor: ProcessDescriptor, rng: random.Random | None = None
+    ) -> bool:
+        """Insert ``descriptor``; evict a uniform random entry on overflow.
+
+        Returns True when the descriptor is present after the call (it may
+        itself be the eviction victim, in which case False is returned).
+        Re-adding a known pid refreshes nothing and returns True.
+        """
+        if descriptor.pid in self._entries:
+            return True
+        self._entries[descriptor.pid] = descriptor
+        if len(self._entries) > self.capacity:
+            if rng is None:
+                raise MembershipError(
+                    "view overflow requires an rng for uniform eviction"
+                )
+            victim = rng.choice(list(self._entries))
+            del self._entries[victim]
+            return victim != descriptor.pid
+        return True
+
+    def merge(
+        self,
+        descriptors: Iterable[ProcessDescriptor],
+        rng: random.Random | None = None,
+    ) -> int:
+        """Add many descriptors; returns how many were new before eviction."""
+        added = 0
+        for descriptor in descriptors:
+            if descriptor.pid not in self._entries:
+                added += 1
+            self.add(descriptor, rng)
+        return added
+
+    def remove(self, pid: int) -> bool:
+        """Drop ``pid`` from the view; returns whether it was present."""
+        return self._entries.pop(pid, None) is not None
+
+    def replace(
+        self,
+        stale_pids: Iterable[int],
+        fresh: Iterable[ProcessDescriptor],
+        rng: random.Random | None = None,
+    ) -> int:
+        """The paper's MERGE (footnote 5): drop failed entries, then fill
+        the freed capacity with fresh descriptors (favorites — existing live
+        entries — are kept). Returns the number of fresh entries admitted."""
+        for pid in stale_pids:
+            self.remove(pid)
+        admitted = 0
+        for descriptor in fresh:
+            if len(self._entries) >= self.capacity:
+                break
+            if descriptor.pid not in self._entries:
+                self._entries[descriptor.pid] = descriptor
+                admitted += 1
+        # rng kept in the signature for symmetry with merge(); no eviction
+        # happens here because insertion stops at capacity.
+        del rng
+        return admitted
+
+    def clear(self) -> None:
+        """Empty the view."""
+        self._entries.clear()
+
+    def set_capacity(
+        self, capacity: int, rng: random.Random | None = None
+    ) -> None:
+        """Resize the view (the table size tracks ``(b+1)·log S`` as the
+        group grows). Shrinking evicts uniform random entries and needs an
+        ``rng``; growing never drops anything."""
+        if capacity < 1:
+            raise ConfigError(f"view capacity must be >= 1, got {capacity}")
+        while len(self._entries) > capacity:
+            if rng is None:
+                raise MembershipError(
+                    "shrinking below current size requires an rng"
+                )
+            victim = rng.choice(list(self._entries))
+            del self._entries[victim]
+        self.capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ProcessDescriptor]:
+        return iter(list(self._entries.values()))
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._entries
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the view is at capacity."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def pids(self) -> list[int]:
+        """All member pids in insertion order (oldest first)."""
+        return list(self._entries)
+
+    def descriptors(self) -> tuple[ProcessDescriptor, ...]:
+        """All entries in insertion order (oldest first)."""
+        return tuple(self._entries.values())
+
+    def sample(
+        self,
+        k: int,
+        rng: random.Random,
+        exclude: Iterable[int] = (),
+    ) -> list[ProcessDescriptor]:
+        """Up to ``k`` distinct entries chosen uniformly, skipping ``exclude``.
+
+        Fewer than ``k`` are returned when the view is too small — gossip
+        fan-out degrades gracefully in small groups (Fig. 7 samples from
+        ``Table - Ω``).
+        """
+        if k < 0:
+            raise ConfigError(f"sample size must be >= 0, got {k}")
+        excluded = set(exclude)
+        candidates = [d for d in self._entries.values() if d.pid not in excluded]
+        if k >= len(candidates):
+            return candidates
+        return rng.sample(candidates, k)
+
+    def __repr__(self) -> str:
+        return f"PartialView({len(self._entries)}/{self.capacity})"

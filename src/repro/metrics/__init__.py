@@ -1,0 +1,35 @@
+"""Measurement layer: delivery tracking, reliability and report tables.
+
+Metrics are computed from observable behaviour only — network counters
+(:class:`repro.net.stats.NetworkStats`) and application-level deliveries
+(:class:`~repro.metrics.collector.DeliveryTracker`) — so daMulticast and
+the baselines are measured identically and none can cheat by reporting its
+own internals.
+"""
+
+from repro.metrics.collector import DeliveryTracker
+from repro.metrics.convergence import OverlayStats, overlay_stats, views_of
+from repro.metrics.delivery import (
+    delivered_fraction,
+    all_received,
+    parasite_deliveries,
+)
+from repro.metrics.paths import hop_distribution, hops_by_group, max_hops, mean_hops
+from repro.metrics.report import Table, format_series, render_table
+
+__all__ = [
+    "DeliveryTracker",
+    "delivered_fraction",
+    "all_received",
+    "parasite_deliveries",
+    "OverlayStats",
+    "overlay_stats",
+    "views_of",
+    "hop_distribution",
+    "hops_by_group",
+    "mean_hops",
+    "max_hops",
+    "Table",
+    "render_table",
+    "format_series",
+]

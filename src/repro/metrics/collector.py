@@ -1,0 +1,93 @@
+"""Delivery tracking: who received which event, and when.
+
+The reliability figures (Figs. 10–11) need, per event and per group, the
+fraction of processes that received the event; §VI-D's "reliability" is the
+probability that *every* interested process receives it. The tracker
+records the raw (event, pid, time) triples and the queries in
+:mod:`repro.metrics.delivery` aggregate them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.events import Event, EventId
+
+
+class DeliveryTracker:
+    """Records publishes and application-level deliveries."""
+
+    def __init__(self) -> None:
+        self._published: dict[EventId, Event] = {}
+        self._publisher: dict[EventId, int] = {}
+        self._receivers: dict[EventId, dict[int, float]] = defaultdict(dict)
+        self._hops: dict[EventId, dict[int, int]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_publish(self, event: Event, publisher: int) -> None:
+        """Note that ``publisher`` published ``event``."""
+        self._published[event.event_id] = event
+        self._publisher[event.event_id] = publisher
+
+    def record_delivery(
+        self, pid: int, event: Event, time: float, hops: int | None = None
+    ) -> None:
+        """Note that ``pid`` delivered ``event`` to its application.
+
+        Only the first delivery per (event, pid) is kept — redundant gossip
+        receptions are deduplicated at the protocol layer anyway. ``hops``
+        optionally records the transmission count of the delivering copy
+        (0 for the publisher itself).
+        """
+        receivers = self._receivers[event.event_id]
+        if pid not in receivers:
+            receivers[pid] = time
+            if hops is not None:
+                self._hops[event.event_id][pid] = hops
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[Event]:
+        """All recorded events, in publish order."""
+        return list(self._published.values())
+
+    def publisher_of(self, event_id: EventId) -> int | None:
+        """The pid that published ``event_id`` (None if unknown)."""
+        return self._publisher.get(event_id)
+
+    def receivers(self, event_id: EventId) -> dict[int, float]:
+        """pid → first-delivery time for ``event_id``."""
+        return dict(self._receivers.get(event_id, {}))
+
+    def received_by(self, event_id: EventId, pid: int) -> bool:
+        """Whether ``pid`` delivered ``event_id``."""
+        return pid in self._receivers.get(event_id, {})
+
+    def delivery_count(self, event_id: EventId) -> int:
+        """Number of distinct processes that delivered ``event_id``."""
+        return len(self._receivers.get(event_id, {}))
+
+    def delivery_times(self, event_id: EventId) -> list[float]:
+        """Sorted first-delivery times for ``event_id``."""
+        return sorted(self._receivers.get(event_id, {}).values())
+
+    def delivery_hops(self, event_id: EventId) -> dict[int, int]:
+        """pid → hop count of the first-delivered copy (where recorded)."""
+        return dict(self._hops.get(event_id, {}))
+
+    def clear(self) -> None:
+        """Forget everything (e.g. between warm-up and measurement)."""
+        self._published.clear()
+        self._publisher.clear()
+        self._receivers.clear()
+        self._hops.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"DeliveryTracker({len(self._published)} events, "
+            f"{sum(len(r) for r in self._receivers.values())} deliveries)"
+        )

@@ -1,0 +1,122 @@
+"""Membership-overlay quality metrics.
+
+The reliability guarantees of the underlying membership algorithm ([10])
+rest on two structural properties of the union-of-views overlay: it must
+stay *connected* (otherwise gossip partitions) and views must look like
+*uniform samples* (in-degree concentration — no hotspots, no forgotten
+members). These metrics quantify both for any collection of processes
+exposing ``pid`` and a view with ``pids``; they back the flat-membership
+tests and the convergence example.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class OverlayStats:
+    """Structural summary of a membership overlay."""
+
+    n_processes: int
+    connected: bool
+    reachable_from_first: int
+    mean_view_size: float
+    mean_in_degree: float
+    max_in_degree: int
+    min_in_degree: int
+    in_degree_stdev: float
+    stale_entry_fraction: float
+
+    def is_healthy(self, *, max_stale: float = 0.2) -> bool:
+        """Connected, nobody forgotten, few stale entries."""
+        return (
+            self.connected
+            and self.min_in_degree >= 1
+            and self.stale_entry_fraction <= max_stale
+        )
+
+
+def view_graph(views: Mapping[int, Sequence[int]]) -> dict[int, set[int]]:
+    """Adjacency (pid → known pids) restricted to participating pids."""
+    members = set(views)
+    return {
+        pid: {peer for peer in peers if peer in members}
+        for pid, peers in views.items()
+    }
+
+
+def overlay_stats(
+    views: Mapping[int, Sequence[int]],
+    *,
+    is_alive: Callable[[int], bool] = lambda pid: True,
+) -> OverlayStats:
+    """Compute :class:`OverlayStats` for a pid → view-members mapping.
+
+    ``is_alive`` marks which referenced processes are actually up; view
+    entries pointing at dead or departed processes count as *stale*.
+    Connectivity is evaluated over alive members only, following edges in
+    either direction (gossip exchanges are bidirectional in effect).
+    """
+    alive = [pid for pid in views if is_alive(pid)]
+    n = len(alive)
+    if n == 0:
+        return OverlayStats(0, True, 0, 0.0, 0.0, 0, 0, 0.0, 0.0)
+
+    alive_set = set(alive)
+    in_degree = {pid: 0 for pid in alive}
+    total_entries = 0
+    stale_entries = 0
+    undirected: dict[int, set[int]] = {pid: set() for pid in alive}
+    for pid in alive:
+        for peer in views[pid]:
+            total_entries += 1
+            if peer in alive_set:
+                in_degree[peer] += 1
+                undirected[pid].add(peer)
+                undirected[peer].add(pid)
+            else:
+                stale_entries += 1
+
+    first = alive[0]
+    reached = {first}
+    frontier = [first]
+    while frontier:
+        node = frontier.pop()
+        for peer in undirected[node]:
+            if peer not in reached:
+                reached.add(peer)
+                frontier.append(peer)
+
+    degrees = list(in_degree.values())
+    view_sizes = [len(views[pid]) for pid in alive]
+    return OverlayStats(
+        n_processes=n,
+        connected=len(reached) == n,
+        reachable_from_first=len(reached),
+        mean_view_size=statistics.fmean(view_sizes),
+        mean_in_degree=statistics.fmean(degrees),
+        max_in_degree=max(degrees),
+        min_in_degree=min(degrees),
+        in_degree_stdev=statistics.stdev(degrees) if n > 1 else 0.0,
+        stale_entry_fraction=(
+            stale_entries / total_entries if total_entries else 0.0
+        ),
+    )
+
+
+def views_of(processes: Iterable) -> dict[int, list[int]]:
+    """Extract pid → view pids from process-like objects.
+
+    Works with anything exposing ``pid`` and either ``topic_table()`` (the
+    daMulticast process) or ``membership.view`` (bare membership actors).
+    """
+    result: dict[int, list[int]] = {}
+    for process in processes:
+        if hasattr(process, "topic_table"):
+            result[process.pid] = list(process.topic_table().pids)
+        else:
+            result[process.pid] = list(process.membership.view.pids)
+    return result

@@ -1,0 +1,58 @@
+"""Dissemination-depth analysis: how many hops events travel.
+
+Epidemic dissemination reaches the whole group in ``O(log S)`` rounds;
+each delivered copy's ``hops`` field records its transmission chain
+length, so the hop distribution is the empirical dissemination-tree depth
+profile. Comparing per-group distributions also shows the inter-group
+hand-off cost: supergroup members receive the event strictly deeper than
+the publication group.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from typing import Iterable, Mapping
+
+from repro.core.events import EventId
+from repro.metrics.collector import DeliveryTracker
+from repro.topics.topic import Topic
+
+
+def hop_distribution(
+    tracker: DeliveryTracker, event_id: EventId
+) -> Counter:
+    """Histogram hop-count → number of processes first reached at it."""
+    return Counter(tracker.delivery_hops(event_id).values())
+
+
+def mean_hops(tracker: DeliveryTracker, event_id: EventId) -> float | None:
+    """Mean hops over all recorded deliveries (None when unrecorded).
+
+    The publisher's own delivery (0 hops) is excluded: it never crossed
+    the network.
+    """
+    hops = [h for h in tracker.delivery_hops(event_id).values() if h > 0]
+    if not hops:
+        return None
+    return statistics.fmean(hops)
+
+
+def max_hops(tracker: DeliveryTracker, event_id: EventId) -> int:
+    """Deepest delivery (0 when nothing recorded)."""
+    hops = tracker.delivery_hops(event_id).values()
+    return max(hops, default=0)
+
+
+def hops_by_group(
+    tracker: DeliveryTracker,
+    event_id: EventId,
+    groups: Mapping[Topic, Iterable[int]],
+) -> dict[Topic, float | None]:
+    """Mean delivery depth per topic group (None for unreached groups)."""
+    recorded = tracker.delivery_hops(event_id)
+    result: dict[Topic, float | None] = {}
+    for topic, pids in groups.items():
+        values = [recorded[pid] for pid in pids if pid in recorded and recorded[pid] > 0]
+        result[topic] = statistics.fmean(values) if values else None
+    return result

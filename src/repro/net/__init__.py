@@ -1,0 +1,59 @@
+"""Network substrate: unreliable best-effort channels between processes.
+
+The paper's model (§III-A) is processes communicating over *unreliable,
+best-effort channels* that may lose messages, with crash-recovery failures.
+:class:`~repro.net.network.Network` implements exactly that on top of the
+simulation engine: a message is counted as *sent*, then survives (in order)
+the failure model, the partition model and the channel-loss coin
+(``p_success``, the paper's ``p_succ`` — 0.85 in §VII), and finally gets
+delivered after a latency sampled from a :mod:`~repro.net.latency` model.
+
+All accounting needed by the evaluation (per-kind counters, per-group
+intra/inter-group event counts for Figs. 8–9) lives in
+:class:`~repro.net.stats.NetworkStats`.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+    ZERO_LATENCY,
+)
+from repro.net.message import (
+    AnsContact,
+    EventMessage,
+    JoinRequest,
+    MembershipGossip,
+    Message,
+    NewProcessReply,
+    NewProcessRequest,
+    Ping,
+    Pong,
+    ReqContact,
+)
+from repro.net.network import Network
+from repro.net.partitions import PartitionModel, StaticPartition
+from repro.net.stats import NetworkStats
+
+__all__ = [
+    "Network",
+    "NetworkStats",
+    "Message",
+    "EventMessage",
+    "JoinRequest",
+    "ReqContact",
+    "AnsContact",
+    "NewProcessRequest",
+    "NewProcessReply",
+    "MembershipGossip",
+    "Ping",
+    "Pong",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "ZERO_LATENCY",
+    "PartitionModel",
+    "StaticPartition",
+]

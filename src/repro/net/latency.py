@@ -1,0 +1,77 @@
+"""Message latency models.
+
+The paper's simulator runs synchronous rounds, which corresponds to
+:data:`ZERO_LATENCY` (deliveries happen "within the round", i.e. at the same
+simulation time but causally after the send). The other models support the
+dynamic-protocol experiments where timeouts and staleness matter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.errors import ConfigError
+
+
+class LatencyModel(Protocol):
+    """Samples a one-way message delay."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Return a non-negative delay."""
+        ...  # pragma: no cover - protocol
+
+
+class ConstantLatency:
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ConfigError(f"latency must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency:
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ConfigError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency:
+    """Exponentially distributed delay with the given ``mean``.
+
+    A heavier tail than :class:`UniformLatency`; useful for stressing the
+    bootstrap timeouts (stragglers arrive after FIND_SUPER_CONTACT widened
+    its search).
+    """
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ConfigError(f"mean latency must be > 0, got {mean}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency({self.mean})"
+
+
+#: Shared zero-delay model (the paper's synchronous-round semantics).
+ZERO_LATENCY = ConstantLatency(0.0)

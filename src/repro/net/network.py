@@ -1,0 +1,173 @@
+"""The unreliable best-effort network connecting simulated processes.
+
+Every transmission runs the following pipeline (each stage may drop the
+message, and every outcome is counted in :class:`~repro.net.stats.NetworkStats`):
+
+1. the send attempt is recorded (this is what the paper's message-complexity
+   figures count — a lost message still costs its transmission);
+2. a dead sender cannot transmit (guards protocol bugs under churn);
+3. the failure model may block the transmission (Fig. 11's
+   weakly-consistent perceived failures);
+4. the partition model may block the pair;
+5. the channel loses the message with probability ``1 - p_success``
+   (the paper's ``p_succ = 0.85`` in §VII);
+6. a latency is sampled and delivery is scheduled; if the target is dead
+   *at delivery time* the message is dropped (stillborn targets, churn).
+
+Actors are any objects with a ``pid`` attribute and a
+``handle_message(message)`` method.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigError, UnknownActor
+from repro.failures.model import AlwaysAlive, FailureModel
+from repro.net.latency import LatencyModel, ZERO_LATENCY
+from repro.net.message import Message
+from repro.net.partitions import FullyConnected, PartitionModel
+from repro.net.stats import (
+    DROP_CHANNEL_LOSS,
+    DROP_DEAD_SENDER,
+    DROP_DEAD_TARGET,
+    DROP_PARTITIONED,
+    DROP_PERCEIVED_FAILED,
+    NetworkStats,
+)
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceLog
+
+
+@runtime_checkable
+class Actor(Protocol):
+    """Anything that can be registered on the network."""
+
+    pid: int
+
+    def handle_message(self, message: Message) -> None:
+        """Process one delivered message."""
+        ...  # pragma: no cover - protocol
+
+
+class Network:
+    """Best-effort message transport over the simulation engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: random.Random,
+        *,
+        p_success: float = 1.0,
+        latency: LatencyModel = ZERO_LATENCY,
+        failure_model: FailureModel | None = None,
+        partition_model: PartitionModel | None = None,
+        stats: NetworkStats | None = None,
+        trace: TraceLog | None = None,
+    ):
+        if not 0.0 <= p_success <= 1.0:
+            raise ConfigError(f"p_success must be in [0,1], got {p_success}")
+        self._engine = engine
+        self._rng = rng
+        self.p_success = p_success
+        self.latency = latency
+        self.failure_model: FailureModel = failure_model or AlwaysAlive()
+        self.partition_model: PartitionModel = partition_model or FullyConnected()
+        self.stats = stats if stats is not None else NetworkStats()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._actors: dict[int, Actor] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor) -> None:
+        """Attach an actor; its ``pid`` must be unique on this network."""
+        pid = actor.pid
+        if pid in self._actors:
+            raise ConfigError(f"process id {pid} is already registered")
+        self._actors[pid] = actor
+
+    def actor(self, pid: int) -> Actor:
+        """Look an actor up by process id."""
+        try:
+            return self._actors[pid]
+        except KeyError:
+            raise UnknownActor(f"no actor registered with pid {pid}") from None
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._actors
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    @property
+    def pids(self) -> list[int]:
+        """All registered process ids, sorted."""
+        return sorted(self._actors)
+
+    # ------------------------------------------------------------------
+    # Liveness (convenience passthroughs used by protocols & metrics)
+    # ------------------------------------------------------------------
+    def is_alive(self, pid: int) -> bool:
+        """Ground-truth liveness of ``pid`` right now."""
+        return self.failure_model.is_alive(pid, self._engine.now)
+
+    def alive_pids(self) -> list[int]:
+        """All currently alive registered pids, sorted."""
+        return [pid for pid in self.pids if self.is_alive(pid)]
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, sender: int, target: int, message: Message) -> bool:
+        """Attempt to transmit ``message``; returns whether delivery was scheduled.
+
+        The return value exists for tests and diagnostics only — protocols
+        must not branch on it (channels are best-effort and real senders
+        cannot observe losses).
+        """
+        if target not in self._actors:
+            raise UnknownActor(f"no actor registered with pid {target}")
+        now = self._engine.now
+        self.stats.record_sent(message)
+        self.trace.record(now, "net.sent", sender, target, message_kind=message.kind)
+
+        if not self.failure_model.is_alive(sender, now):
+            self._drop(message, sender, target, DROP_DEAD_SENDER)
+            return False
+        if self.failure_model.transmission_blocked(sender, target, now, self._rng):
+            self._drop(message, sender, target, DROP_PERCEIVED_FAILED)
+            return False
+        if not self.partition_model.connected(sender, target, now):
+            self._drop(message, sender, target, DROP_PARTITIONED)
+            return False
+        if self._rng.random() >= self.p_success:
+            self._drop(message, sender, target, DROP_CHANNEL_LOSS)
+            return False
+
+        delay = self.latency.sample(self._rng)
+        self._engine.schedule(delay, lambda: self._deliver(sender, target, message))
+        return True
+
+    def _deliver(self, sender: int, target: int, message: Message) -> None:
+        now = self._engine.now
+        if not self.failure_model.is_alive(target, now):
+            self._drop(message, sender, target, DROP_DEAD_TARGET)
+            return
+        self.stats.record_delivered(message)
+        self.trace.record(now, "net.delivered", sender, target, message_kind=message.kind)
+        self._actors[target].handle_message(message)
+
+    def _drop(self, message: Message, sender: int, target: int, reason: str) -> None:
+        self.stats.record_dropped(message, reason)
+        self.trace.record(
+            self._engine.now, "net.dropped", sender, target,
+            message_kind=message.kind, reason=reason,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({len(self._actors)} actors, p_success={self.p_success}, "
+            f"{self.failure_model!r})"
+        )

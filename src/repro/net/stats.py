@@ -1,0 +1,149 @@
+"""Network accounting: the counters behind every figure of the paper.
+
+The evaluation counts *sent* messages (Fig. 8: events sent inside each
+group, Fig. 9: events crossing group boundaries) and the metrics layer
+derives reliability from application deliveries. :class:`NetworkStats`
+therefore tracks, per message kind: sent / delivered / dropped-with-reason,
+plus the topic-scoped counters for event messages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.message import EventMessage, Message
+from repro.topics.topic import Topic
+
+#: Drop reasons used by :class:`repro.net.network.Network`.
+DROP_CHANNEL_LOSS = "channel_loss"
+DROP_DEAD_TARGET = "dead_target"
+DROP_DEAD_SENDER = "dead_sender"
+DROP_PERCEIVED_FAILED = "perceived_failed"
+DROP_PARTITIONED = "partitioned"
+
+
+@dataclass
+class NetworkStats:
+    """Counters over everything the network transported or dropped."""
+
+    sent_by_kind: Counter = field(default_factory=Counter)
+    delivered_by_kind: Counter = field(default_factory=Counter)
+    dropped_by_reason: Counter = field(default_factory=Counter)
+    dropped_by_kind: Counter = field(default_factory=Counter)
+    #: Fig. 8 — events *sent* while gossiping inside each group.
+    intra_group_sent: Counter = field(default_factory=Counter)
+    #: Fig. 9 — events *sent* from a group to its supergroup, per edge.
+    inter_group_sent: Counter = field(default_factory=Counter)
+    #: Deliveries of the above (after loss/failures), same keys.
+    intra_group_delivered: Counter = field(default_factory=Counter)
+    inter_group_delivered: Counter = field(default_factory=Counter)
+    #: §IV-A load distribution — event messages sent per process.
+    events_sent_by_sender: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+    # Recording (called by the network)
+    # ------------------------------------------------------------------
+    def record_sent(self, message: Message) -> None:
+        """Count a send attempt."""
+        self.sent_by_kind[message.kind] += 1
+        if isinstance(message, EventMessage):
+            self.events_sent_by_sender[message.sender] += 1
+            scope = message.scope
+            if scope.kind == "intra":
+                self.intra_group_sent[scope.group] += 1
+            else:
+                self.inter_group_sent[(scope.group, scope.super_group)] += 1
+
+    def record_delivered(self, message: Message) -> None:
+        """Count a successful delivery."""
+        self.delivered_by_kind[message.kind] += 1
+        if isinstance(message, EventMessage):
+            scope = message.scope
+            if scope.kind == "intra":
+                self.intra_group_delivered[scope.group] += 1
+            else:
+                self.inter_group_delivered[(scope.group, scope.super_group)] += 1
+
+    def record_dropped(self, message: Message, reason: str) -> None:
+        """Count a drop with its cause."""
+        self.dropped_by_reason[reason] += 1
+        self.dropped_by_kind[message.kind] += 1
+
+    # ------------------------------------------------------------------
+    # Queries (used by metrics/experiments)
+    # ------------------------------------------------------------------
+    @property
+    def total_sent(self) -> int:
+        """All send attempts, any kind."""
+        return sum(self.sent_by_kind.values())
+
+    @property
+    def total_delivered(self) -> int:
+        """All successful deliveries, any kind."""
+        return sum(self.delivered_by_kind.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """All drops, any kind."""
+        return sum(self.dropped_by_kind.values())
+
+    def events_sent_in_group(self, group: Topic) -> int:
+        """Fig. 8 quantity: event messages sent while gossiping in ``group``."""
+        return self.intra_group_sent[group]
+
+    def events_sent_between(self, group: Topic, super_group: Topic) -> int:
+        """Fig. 9 quantity: event messages sent from ``group`` to its supergroup."""
+        return self.inter_group_sent[(group, super_group)]
+
+    def event_messages_sent(self) -> int:
+        """All event messages sent (intra + inter), the §VI-B quantity."""
+        return self.sent_by_kind["event"]
+
+    def overhead_messages_sent(self) -> int:
+        """Non-event traffic (membership, bootstrap, probes)."""
+        return self.total_sent - self.sent_by_kind["event"]
+
+    def sender_load(self, pid: int) -> int:
+        """Event messages this process has transmitted (§IV-A load)."""
+        return self.events_sent_by_sender[pid]
+
+    def max_sender_load(self) -> int:
+        """The busiest process's event transmissions (0 when none)."""
+        return max(self.events_sent_by_sender.values(), default=0)
+
+    def delivery_ratio(self, kind: str | None = None) -> float:
+        """Delivered / sent for one kind (or overall); 1.0 when nothing sent."""
+        if kind is None:
+            sent, delivered = self.total_sent, self.total_delivered
+        else:
+            sent = self.sent_by_kind[kind]
+            delivered = self.delivered_by_kind[kind]
+        return delivered / sent if sent else 1.0
+
+    def as_dict(self) -> dict[str, dict]:
+        """Plain-dict snapshot (stable keys) for reports and tests."""
+        return {
+            "sent_by_kind": dict(self.sent_by_kind),
+            "delivered_by_kind": dict(self.delivered_by_kind),
+            "dropped_by_reason": dict(self.dropped_by_reason),
+            "intra_group_sent": {
+                topic.name: count for topic, count in self.intra_group_sent.items()
+            },
+            "inter_group_sent": {
+                f"{src.name}->{dst.name}": count
+                for (src, dst), count in self.inter_group_sent.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between warm-up and measurement)."""
+        self.sent_by_kind.clear()
+        self.delivered_by_kind.clear()
+        self.dropped_by_reason.clear()
+        self.dropped_by_kind.clear()
+        self.intra_group_sent.clear()
+        self.inter_group_sent.clear()
+        self.intra_group_delivered.clear()
+        self.inter_group_delivered.clear()
+        self.events_sent_by_sender.clear()

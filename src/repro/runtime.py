@@ -1,0 +1,79 @@
+"""Shared simulation harness: one bundle of engine/network/rng/metrics.
+
+Both :class:`repro.core.system.DaMulticastSystem` and the baseline systems
+need the same substrate wiring — a deterministic engine, named RNG streams,
+an unreliable network with statistics, a delivery tracker and optional
+tracing. Centralizing it keeps every protocol measured under identical
+conditions, which the paper's comparison explicitly requires ("for
+fairness, all approaches use the same underlying membership algorithm" —
+and, here, the same network and failure substrate too).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.failures.model import FailureModel
+from repro.metrics.collector import DeliveryTracker
+from repro.net.latency import LatencyModel, ZERO_LATENCY
+from repro.net.network import Network
+from repro.net.stats import NetworkStats
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+class SimulationHarness:
+    """Engine + RNG registry + network + metrics, wired deterministically."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        p_success: float = 1.0,
+        latency: LatencyModel = ZERO_LATENCY,
+        failure_model: FailureModel | None = None,
+        trace: bool = False,
+    ):
+        self.engine = Engine()
+        self.rngs = RngRegistry(seed)
+        self.trace = TraceLog(enabled=trace)
+        self.stats = NetworkStats()
+        self.network = Network(
+            self.engine,
+            self.rngs.stream("network"),
+            p_success=p_success,
+            latency=latency,
+            failure_model=failure_model,
+            stats=self.stats,
+            trace=self.trace,
+        )
+        self.tracker = DeliveryTracker()
+        self._pid_counter = itertools.count(0)
+
+    def next_pid(self) -> int:
+        """Allocate the next process id."""
+        return next(self._pid_counter)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drive the engine (see :meth:`repro.sim.engine.Engine.run`)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run to quiescence."""
+        return self.engine.run_until_idle(max_events=max_events)
+
+    def is_alive(self, pid: int) -> bool:
+        """Ground-truth liveness of ``pid`` now."""
+        return self.network.is_alive(pid)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationHarness(seed={self.rngs.master_seed}, "
+            f"actors={len(self.network)}, now={self.now})"
+        )

@@ -1,0 +1,244 @@
+"""Event-driven simulation engine.
+
+A minimal, fast discrete-event scheduler: callbacks are executed in
+timestamp order, ties broken by scheduling order (FIFO), which keeps runs
+deterministic. Periodic protocol tasks (the paper's KEEP_TABLE_UPDATED and
+FIND_SUPER_CONTACT timers) are built on top via :class:`PeriodicTask`.
+
+Time is a unitless float; the paper's synchronous gossip rounds map to
+events at integer times with zero-latency message delivery in between.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled callback, allowing cancellation."""
+
+    __slots__ = ("time", "_cancelled", "_fired")
+
+    def __init__(self, time: float):
+        self.time = time
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has already been executed."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not self._cancelled and not self._fired
+
+
+class PeriodicTask:
+    """A callback re-scheduled every ``interval`` time units.
+
+    Models the paper's repeatedly-executed tasks (Fig. 6's
+    KEEP_TABLE_UPDATED, Fig. 4's FIND_SUPER_CONTACT timeout loop). The task
+    stops when :meth:`stop` is called or when the callback returns ``False``.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        initial_delay: float | None = None,
+        max_firings: int | None = None,
+    ):
+        if interval <= 0:
+            raise SchedulingError(f"interval must be > 0, got {interval}")
+        self._engine = engine
+        self._interval = interval
+        self._callback = callback
+        self._max_firings = max_firings
+        self._firings = 0
+        self._stopped = False
+        delay = interval if initial_delay is None else initial_delay
+        self._handle = engine.schedule(delay, self._fire)
+
+    @property
+    def firings(self) -> int:
+        """How many times the callback has run."""
+        return self._firings
+
+    @property
+    def running(self) -> bool:
+        """Whether the task is still scheduled."""
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Cancel future firings."""
+        self._stopped = True
+        self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._firings += 1
+        result = self._callback()
+        reached_limit = (
+            self._max_firings is not None and self._firings >= self._max_firings
+        )
+        if result is False or reached_limit or self._stopped:
+            self._stopped = True
+            return
+        self._handle = self._engine.schedule(self._interval, self._fire)
+
+
+class Engine:
+    """Deterministic discrete-event scheduler.
+
+    >>> engine = Engine()
+    >>> seen = []
+    >>> _ = engine.schedule(2.0, lambda: seen.append(engine.now))
+    >>> _ = engine.schedule(1.0, lambda: seen.append(engine.now))
+    >>> engine.run()
+    >>> seen
+    [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, EventHandle, Callable[[], Any]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+        """Run ``callback`` after ``delay`` time units (``delay >= 0``)."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+        """Run ``callback`` at absolute ``time`` (``time >= now``)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback))
+        return handle
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        initial_delay: float | None = None,
+        max_firings: int | None = None,
+    ) -> PeriodicTask:
+        """Schedule a :class:`PeriodicTask` firing every ``interval``."""
+        return PeriodicTask(
+            self,
+            interval,
+            callback,
+            initial_delay=initial_delay,
+            max_firings=max_firings,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event. Returns False when queue is empty."""
+        while self._queue:
+            time, _, handle, callback = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle._fired = True
+            self._processed += 1
+            callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when simulation time would exceed
+        ``until``, or after ``max_events`` callbacks — whichever happens
+        first. Returns the number of callbacks executed by this call.
+        ``max_events`` guards against accidental live-lock from
+        self-rescheduling tasks: exceeding it with events still pending and
+        no ``until`` horizon raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    if until is None:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} with "
+                            f"{self.pending} events still pending"
+                        )
+                    break
+                next_time = self._queue[0][0]
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if self.step():
+                    executed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self._now}, pending={self.pending}, "
+            f"processed={self._processed})"
+        )

@@ -1,0 +1,110 @@
+"""Structured trace log for simulations.
+
+Metrics in this reproduction are derived from *observable* behaviour
+(messages on the wire, deliveries to the application) rather than from
+protocol internals, so daMulticast and the baselines are measured the same
+way. The :class:`TraceLog` is the shared sink: components append typed
+:class:`TraceRecord` entries and analysis code filters them afterwards.
+
+Tracing can be disabled (``TraceLog(enabled=False)``) for large parameter
+sweeps where only aggregate counters are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``kind`` is a dotted event name (``"net.sent"``, ``"net.delivered"``,
+    ``"net.dropped"``, ``"app.delivered"``, ``"membership.merge"``, ...);
+    ``detail`` carries kind-specific fields.
+    """
+
+    time: float
+    kind: str
+    source: Any = None
+    target: Any = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceRecord` entries with query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        source: Any = None,
+        target: Any = None,
+        **detail: Any,
+    ) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, kind, source, target, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All records in append order (the live list; do not mutate)."""
+        return self._records
+
+    def filter(
+        self,
+        kind: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching ``kind`` (prefix match on dots) and ``predicate``.
+
+        ``kind="net"`` matches ``"net.sent"`` and ``"net.delivered"``;
+        ``kind="net.sent"`` matches exactly.
+        """
+        result = []
+        for record in self._records:
+            if kind is not None:
+                if record.kind != kind and not record.kind.startswith(kind + "."):
+                    continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def count(
+        self,
+        kind: str | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> int:
+        """Number of records matching the filter (see :meth:`filter`)."""
+        return len(self.filter(kind, predicate))
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of record kinds."""
+        histogram: dict[str, int] = {}
+        for record in self._records:
+            histogram[record.kind] = histogram.get(record.kind, 0) + 1
+        return histogram
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"TraceLog({len(self._records)} records, {state})"

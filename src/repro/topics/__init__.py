@@ -1,0 +1,39 @@
+"""Topic model: hierarchical topic names and topic hierarchies.
+
+The paper organizes events in a topic hierarchy (e.g. ``.dsn04.reviewers``)
+and exploits the *inclusion* relation between topics: ``Ta`` includes ``Tb``
+when ``Ta`` is a (direct or indirect) supertopic of ``Tb``. This package
+provides:
+
+* :class:`~repro.topics.topic.Topic` — an immutable dotted-path topic name
+  with super/sub-topic navigation,
+* :class:`~repro.topics.hierarchy.TopicHierarchy` — an explicit registry of
+  the topics that exist in a system (a rooted tree),
+* :class:`~repro.topics.hierarchy.TopicDag` — the multi-inheritance
+  extension sketched in the paper's conclusion (a topic may have several
+  direct supertopics),
+* :mod:`~repro.topics.builders` — convenience constructors (chains, balanced
+  trees, the paper's three-level scenario hierarchy, random hierarchies).
+"""
+
+from repro.topics.topic import ROOT, Topic
+from repro.topics.hierarchy import TopicDag, TopicHierarchy
+from repro.topics.builders import (
+    balanced_tree,
+    chain,
+    from_names,
+    paper_hierarchy,
+    random_hierarchy,
+)
+
+__all__ = [
+    "ROOT",
+    "Topic",
+    "TopicHierarchy",
+    "TopicDag",
+    "chain",
+    "balanced_tree",
+    "from_names",
+    "paper_hierarchy",
+    "random_hierarchy",
+]

@@ -1,0 +1,267 @@
+"""Explicit topic hierarchies: the tree of topics known to a system.
+
+A :class:`TopicHierarchy` is the set of topics that exist in a deployment.
+The paper assumes a rooted tree where each topic except the root has exactly
+one direct supertopic (§VIII notes multiple inheritance as an extension —
+implemented here in :class:`TopicDag`).
+
+Registering ``.a.b.c`` implicitly registers ``.a.b``, ``.a`` and the root so
+the hierarchy is always connected; the *depth* ``t`` of the hierarchy is the
+maximum topic depth (the paper's §VI assumes a chain T0..Tt of depth t).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import HierarchyError, UnknownTopic
+from repro.topics.topic import ROOT, Topic
+
+
+class TopicHierarchy:
+    """A rooted tree of registered topics.
+
+    >>> h = TopicHierarchy.from_topics([Topic.parse(".dsn04.reviewers")])
+    >>> h.depth
+    2
+    >>> [t.name for t in h.chain_to_root(Topic.parse(".dsn04.reviewers"))]
+    ['.dsn04.reviewers', '.dsn04', '.']
+    """
+
+    def __init__(self) -> None:
+        self._children: dict[Topic, set[Topic]] = {ROOT: set()}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topics(cls, topics: Iterable[Topic | str]) -> "TopicHierarchy":
+        """Build a hierarchy containing ``topics`` and all their ancestors."""
+        hierarchy = cls()
+        for topic in topics:
+            hierarchy.add(topic)
+        return hierarchy
+
+    def add(self, topic: Topic | str) -> Topic:
+        """Register ``topic`` (and, implicitly, all its supertopics).
+
+        Returns the registered :class:`Topic`. Adding an existing topic is a
+        no-op, so callers need not deduplicate.
+        """
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        node = resolved
+        while not node.is_root:
+            parent = node.super_topic
+            assert parent is not None  # not root
+            siblings = self._children.setdefault(parent, set())
+            siblings.add(node)
+            self._children.setdefault(node, set())
+            node = parent
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, topic: Topic) -> bool:
+        return topic in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __iter__(self) -> Iterator[Topic]:
+        return iter(sorted(self._children))
+
+    @property
+    def topics(self) -> list[Topic]:
+        """All registered topics, sorted (root first)."""
+        return sorted(self._children)
+
+    @property
+    def depth(self) -> int:
+        """The hierarchy depth ``t``: maximum topic depth (root = 0)."""
+        return max(topic.depth for topic in self._children)
+
+    def require(self, topic: Topic) -> Topic:
+        """Return ``topic`` if registered, else raise :class:`UnknownTopic`."""
+        if topic not in self._children:
+            raise UnknownTopic(f"topic {topic.name} is not in the hierarchy")
+        return topic
+
+    def children(self, topic: Topic) -> list[Topic]:
+        """Direct subtopics of ``topic``, sorted."""
+        self.require(topic)
+        return sorted(self._children[topic])
+
+    def super_of(self, topic: Topic) -> Topic | None:
+        """``super(topic)`` within the hierarchy (None for the root)."""
+        self.require(topic)
+        return topic.super_topic
+
+    def subtree(self, topic: Topic) -> list[Topic]:
+        """``topic`` and every registered topic it includes, sorted."""
+        self.require(topic)
+        return sorted(t for t in self._children if topic.includes(t))
+
+    def leaves(self) -> list[Topic]:
+        """Topics with no registered subtopic, sorted."""
+        return sorted(t for t, kids in self._children.items() if not kids)
+
+    def level(self, depth: int) -> list[Topic]:
+        """All registered topics at exactly ``depth`` hops below the root."""
+        return sorted(t for t in self._children if t.depth == depth)
+
+    def chain_to_root(self, topic: Topic) -> list[Topic]:
+        """``[topic, super(topic), ..., root]`` — the dissemination path."""
+        self.require(topic)
+        return list(topic.ancestors(include_self=True))
+
+    def parents_of(self, topic: Topic) -> list[Topic]:
+        """Direct supertopics (singleton list, or empty for the root).
+
+        Provided so tree and DAG hierarchies expose the same interface.
+        """
+        self.require(topic)
+        parent = topic.super_topic
+        return [] if parent is None else [parent]
+
+    def next_including_with(
+        self, topic: Topic, predicate: Callable[[Topic], bool]
+    ) -> Topic | None:
+        """First strict supertopic of ``topic`` satisfying ``predicate``.
+
+        This is the paper's "first topic, according to the topic hierarchy
+        level, that induces Ti" used when no process is interested in the
+        direct supertopic (§III-B): we walk up the chain and return the
+        nearest supertopic accepted by ``predicate`` (e.g. "has interested
+        processes"), or ``None`` when none qualifies.
+        """
+        self.require(topic)
+        for ancestor in topic.ancestors(include_self=False):
+            if predicate(ancestor):
+                return ancestor
+        return None
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`HierarchyError` if broken.
+
+        The tree built through :meth:`add` is correct by construction; this
+        is a guard for hierarchies assembled by external tooling.
+        """
+        if ROOT not in self._children:
+            raise HierarchyError("hierarchy lost its root topic")
+        for topic in self._children:
+            if topic.is_root:
+                continue
+            parent = topic.super_topic
+            if parent not in self._children:
+                raise HierarchyError(f"{topic.name} has unregistered parent")
+            if topic not in self._children[parent]:
+                raise HierarchyError(f"{topic.name} missing from parent's children")
+
+    def __repr__(self) -> str:
+        return f"TopicHierarchy({len(self)} topics, depth={self.depth})"
+
+
+class TopicDag:
+    """Multi-inheritance topic graph (paper §VIII extension).
+
+    The paper's concluding remarks note that multiple direct supertopics
+    could be supported "by adding a supertopic table for each supertopic".
+    A :class:`TopicDag` assigns each topic an explicit set of parents; the
+    implicit dotted-path parent is always included, and extra parents may be
+    declared with :meth:`link`. The graph must remain acyclic and rooted.
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[Topic, set[Topic]] = {ROOT: set()}
+        self._children: dict[Topic, set[Topic]] = {ROOT: set()}
+
+    @classmethod
+    def from_hierarchy(cls, hierarchy: TopicHierarchy) -> "TopicDag":
+        """Lift a tree hierarchy into a DAG (each topic keeps its one parent)."""
+        dag = cls()
+        for topic in hierarchy.topics:
+            dag.add(topic)
+        return dag
+
+    def add(self, topic: Topic | str) -> Topic:
+        """Register ``topic`` with its implicit dotted-path ancestry."""
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        node = resolved
+        while node not in self._parents:
+            self._parents[node] = set()
+            self._children.setdefault(node, set())
+            parent = node.super_topic
+            if parent is None:
+                break
+            self._parents[node].add(parent)
+            self._children.setdefault(parent, set()).add(node)
+            node = parent
+        return resolved
+
+    def link(self, topic: Topic, extra_parent: Topic) -> None:
+        """Declare ``extra_parent`` as an additional direct supertopic.
+
+        Raises :class:`HierarchyError` when the link would create a cycle or
+        when either endpoint is unregistered.
+        """
+        if topic not in self._parents or extra_parent not in self._parents:
+            raise UnknownTopic("both endpoints must be registered before linking")
+        if topic == extra_parent or self.is_ancestor(topic, extra_parent):
+            raise HierarchyError(
+                f"linking {topic.name} under {extra_parent.name} creates a cycle"
+            )
+        self._parents[topic].add(extra_parent)
+        self._children[extra_parent].add(topic)
+
+    def parents_of(self, topic: Topic) -> list[Topic]:
+        """All direct supertopics of ``topic`` (implicit + linked), sorted."""
+        if topic not in self._parents:
+            raise UnknownTopic(f"topic {topic.name} is not in the DAG")
+        return sorted(self._parents[topic])
+
+    def children(self, topic: Topic) -> list[Topic]:
+        """All direct subtopics of ``topic``, sorted."""
+        if topic not in self._children:
+            raise UnknownTopic(f"topic {topic.name} is not in the DAG")
+        return sorted(self._children[topic])
+
+    def is_ancestor(self, maybe_ancestor: Topic, topic: Topic) -> bool:
+        """Whether ``maybe_ancestor`` is strictly reachable upward from ``topic``."""
+        seen: set[Topic] = set()
+        frontier = list(self._parents.get(topic, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._parents.get(node, ()))
+        return maybe_ancestor in seen
+
+    def ancestors(self, topic: Topic) -> list[Topic]:
+        """Every topic that includes ``topic`` through any parent chain."""
+        if topic not in self._parents:
+            raise UnknownTopic(f"topic {topic.name} is not in the DAG")
+        seen: set[Topic] = set()
+        frontier = list(self._parents[topic])
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._parents.get(node, ()))
+        return sorted(seen)
+
+    @property
+    def topics(self) -> list[Topic]:
+        """All registered topics, sorted (root first)."""
+        return sorted(self._parents)
+
+    def __contains__(self, topic: Topic) -> bool:
+        return topic in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __repr__(self) -> str:
+        return f"TopicDag({len(self)} topics)"

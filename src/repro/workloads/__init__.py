@@ -1,0 +1,35 @@
+"""Workload generation: scenarios, subscription populations, publications.
+
+* :mod:`~repro.workloads.scenarios` — the §VII paper scenario (t=3 chain,
+  1000/100/10 subscribers, b=3 c=5 g=5 a=1 z=3, p_succ=0.85, publication
+  on T2) plus parameterized variants,
+* :mod:`~repro.workloads.subscriptions` — subscription distributions over
+  a hierarchy (per-level counts, uniform, Zipf-popularity),
+* :mod:`~repro.workloads.publications` — publication schedules
+  (single-shot, Poisson, bursts) for multi-event experiments.
+"""
+
+from repro.workloads.scenarios import PaperScenario, ScenarioRun
+from repro.workloads.subscriptions import (
+    per_level_counts,
+    uniform_subscriptions,
+    zipf_subscriptions,
+)
+from repro.workloads.publications import (
+    PoissonSchedule,
+    burst_schedule,
+    replay_on,
+    single_shot,
+)
+
+__all__ = [
+    "PaperScenario",
+    "ScenarioRun",
+    "per_level_counts",
+    "uniform_subscriptions",
+    "zipf_subscriptions",
+    "single_shot",
+    "burst_schedule",
+    "replay_on",
+    "PoissonSchedule",
+]

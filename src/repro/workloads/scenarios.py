@@ -1,0 +1,201 @@
+"""The §VII simulation scenario, as a reusable builder.
+
+"The number of levels t in the topic hierarchy is set to 3 (T0, T1, T2
+...). The number of subscribers S_Ti is 1000 for T2, 100 for T1 and 10
+for T0. b is set to 3 for all groups. c is equal to 5 for all groups. g
+is set to 5 for all groups. a is equal to 1 for all groups. z is equal
+to 3 for all groups. The probability for an event to be received is set
+to an arbitrary value of 0.85. ... the events disseminated in the
+simulation belong to topic T2."
+
+The fan-out logarithm base defaults to 10 to match the paper's own
+simulator scale (Fig. 8 peaks at ≈8000 = 1000·(log10(1000)+5) messages;
+DESIGN.md note 2). Pass ``fanout_log_base=math.e`` for the theory-faithful
+variant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.events import Event
+from repro.core.params import DaMulticastConfig, TopicParams
+from repro.core.system import DaMulticastSystem
+from repro.errors import ConfigError
+from repro.failures.dynamic import DynamicFailures
+from repro.failures.stillborn import sample_stillborn
+from repro.sim.rng import derive_seed
+from repro.topics.builders import chain
+from repro.topics.topic import Topic
+
+
+@dataclass(frozen=True)
+class PaperScenario:
+    """All §VII constants in one place (overridable per experiment)."""
+
+    #: group sizes from the root (T0) down to the publication topic
+    sizes: Sequence[int] = (10, 100, 1000)
+    b: float = 3.0
+    c: float = 5.0
+    g: float = 5.0
+    a: float = 1.0
+    z: int = 3
+    p_succ: float = 0.85
+    fanout_log_base: float = 10.0
+    #: index (into the chain, root-first) of the publication topic;
+    #: -1 = the bottom-most topic, the paper's choice
+    publish_level: int = -1
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) < 1:
+            raise ConfigError("scenario needs at least one level")
+
+    @property
+    def depth(self) -> int:
+        """Chain depth below the root (sizes has depth+1 entries)."""
+        return len(self.sizes) - 1
+
+    def topics(self) -> list[Topic]:
+        """The chain topics, root first: [T0, T1, ..., Tt]."""
+        return chain(self.depth, prefix="t")
+
+    def params(self) -> TopicParams:
+        """The per-group protocol parameters."""
+        return TopicParams(
+            b=self.b,
+            c=self.c,
+            g=self.g,
+            a=self.a,
+            z=self.z,
+            fanout_log_base=self.fanout_log_base,
+        )
+
+    def config(self) -> DaMulticastConfig:
+        """The system configuration."""
+        return DaMulticastConfig(default_params=self.params())
+
+    # ------------------------------------------------------------------
+    # One experiment run
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        *,
+        seed: int,
+        alive_fraction: float = 1.0,
+        failure_mode: str = "stillborn",
+    ) -> "ScenarioRun":
+        """Assemble a ready-to-publish static system.
+
+        ``failure_mode``: ``"stillborn"`` (Figs. 8-10: a random
+        ``1-alive_fraction`` of processes dead from t=0, publisher
+        protected) or ``"dynamic"`` (Fig. 11: everyone alive, each
+        transmission independently blocked with probability
+        ``1-alive_fraction``).
+        """
+        if failure_mode not in ("stillborn", "dynamic"):
+            raise ConfigError(f"unknown failure_mode {failure_mode!r}")
+        if not 0.0 <= alive_fraction <= 1.0:
+            raise ConfigError(
+                f"alive_fraction must be in [0,1], got {alive_fraction}"
+            )
+        system = DaMulticastSystem(
+            config=self.config(),
+            seed=seed,
+            p_success=self.p_succ,
+            mode="static",
+        )
+        topics = self.topics()
+        for topic, size in zip(topics, self.sizes):
+            system.add_group(topic, size)
+
+        publish_topic = topics[self.publish_level]
+        scenario_rng = random.Random(derive_seed(seed, "scenario"))
+        publisher_pid = scenario_rng.choice(system.group_pids(publish_topic))
+
+        if failure_mode == "stillborn":
+            failure_model = sample_stillborn(
+                [p.pid for p in system.processes],
+                alive_fraction,
+                scenario_rng,
+                protected=[publisher_pid],
+            )
+        else:
+            failure_model = DynamicFailures(
+                fail_probability=1.0 - alive_fraction,
+                mode="per_attempt",
+            )
+        system.network.failure_model = failure_model
+        system.finalize_static_membership()
+        return ScenarioRun(
+            scenario=self,
+            system=system,
+            topics=topics,
+            publish_topic=publish_topic,
+            publisher_pid=publisher_pid,
+        )
+
+
+@dataclass
+class ScenarioRun:
+    """A built scenario plus the handles experiments need."""
+
+    scenario: PaperScenario
+    system: DaMulticastSystem
+    topics: list[Topic]
+    publish_topic: Topic
+    publisher_pid: int
+    event: Event | None = field(default=None)
+
+    def publish_and_run(self) -> Event:
+        """Publish one event from the chosen publisher and run to idle."""
+        publisher = self.system.process(self.publisher_pid)
+        self.event = self.system.publish(
+            self.publish_topic, publisher=publisher
+        )
+        self.system.run_until_idle()
+        return self.event
+
+    # ------------------------------------------------------------------
+    # Measurements (the quantities of Figs. 8-11)
+    # ------------------------------------------------------------------
+    def intra_group_messages(self) -> dict[Topic, int]:
+        """Fig. 8: events sent inside each group."""
+        return {
+            topic: self.system.stats.events_sent_in_group(topic)
+            for topic in self.topics
+        }
+
+    def inter_group_messages(self) -> dict[tuple[Topic, Topic], int]:
+        """Fig. 9: events sent from each group to its supergroup."""
+        result = {}
+        for lower, upper in zip(self.topics[1:], self.topics):
+            result[(lower, upper)] = self.system.stats.events_sent_between(
+                lower, upper
+            )
+        return result
+
+    def delivered_fractions(self, alive_only: bool = False) -> dict[Topic, float]:
+        """Figs. 10/11: fraction of group members that delivered.
+
+        The paper's y-axis ("percentage of processes receiving a message")
+        counts *all* group members — failed processes cannot receive, which
+        is what keeps the curves at or below the diagonal. Pass
+        ``alive_only=True`` for the coverage-among-survivors variant.
+        """
+        assert self.event is not None, "publish_and_run() first"
+        return {
+            topic: self.system.delivered_fraction(
+                self.event, topic, alive_only=alive_only
+            )
+            for topic in self.topics
+        }
+
+    def all_received_flags(self) -> dict[Topic, bool]:
+        """§VI-D reliability indicator per group, for this run."""
+        assert self.event is not None, "publish_and_run() first"
+        return {
+            topic: self.system.all_received(self.event, topic)
+            for topic in self.topics
+        }

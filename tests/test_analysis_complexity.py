@@ -1,0 +1,124 @@
+"""Unit tests for the §VI-B/§VI-C/Appendix complexity closed forms."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    broadcast_memory,
+    broadcast_messages,
+    damulticast_memory,
+    damulticast_messages,
+    hierarchical_memory,
+    hierarchical_messages,
+    multicast_memory,
+    multicast_messages,
+)
+from repro.analysis.complexity import damulticast_message_bound
+from repro.errors import ConfigError
+
+PAPER_SIZES = [1000, 100, 10]  # S_T2, S_T1, S_T0
+
+
+class TestDaMulticastMessages:
+    def test_intra_term_matches_formula(self):
+        # With g a z p_succ making inter-group traffic zero-ish impossible;
+        # compare against manual computation instead.
+        expected_intra = sum(s * (math.log(s) + 5) for s in PAPER_SIZES)
+        expected_inter = sum(
+            min(1.0, 5 / s) * s * 1.0 for s in PAPER_SIZES[:-1]
+        )  # g*a*p_succ per edge
+        value = damulticast_messages(PAPER_SIZES, p_succ=1.0)
+        assert value == pytest.approx(expected_intra + expected_inter)
+
+    def test_inter_term_is_g_a_psucc_per_edge(self):
+        with_loss = damulticast_messages(PAPER_SIZES, p_succ=0.5)
+        without = damulticast_messages(PAPER_SIZES, p_succ=1.0)
+        # 2 edges * g*a*(1 - 0.5) difference
+        assert without - with_loss == pytest.approx(2 * 5 * 1 * 0.5)
+
+    def test_log10_variant(self):
+        value = damulticast_messages(
+            [1000], c=5, g=5, a=1, z=3, p_succ=1.0, log_base=10
+        )
+        assert value == pytest.approx(1000 * 8)  # no super edge for 1 level
+
+    def test_single_group(self):
+        # One level: no inter-group traffic at all.
+        assert damulticast_messages([100], g=5) == pytest.approx(
+            100 * (math.log(100) + 5)
+        )
+
+    def test_upper_bound_dominates(self):
+        bound = damulticast_message_bound(PAPER_SIZES)
+        assert bound >= damulticast_messages(PAPER_SIZES)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            damulticast_messages([])
+        with pytest.raises(ConfigError):
+            damulticast_messages([0])
+
+
+class TestBaselineMessages:
+    def test_broadcast_n_log_n(self):
+        assert broadcast_messages(1110, c=5) == pytest.approx(
+            1110 * (math.log(1110) + 5)
+        )
+
+    def test_multicast_sums_levels(self):
+        assert multicast_messages(PAPER_SIZES, c=5) == pytest.approx(
+            sum(s * (math.log(s) + 5) for s in PAPER_SIZES)
+        )
+
+    def test_hierarchical_eq10(self):
+        value = hierarchical_messages(10, 111, c1=5, c2=5)
+        assert value == pytest.approx(
+            10 * 111 * (math.log(10) + math.log(111) + 10)
+        )
+
+    def test_broadcast_dominates_multicast_on_paper_scenario(self):
+        n = sum(PAPER_SIZES)
+        assert broadcast_messages(n) > multicast_messages(PAPER_SIZES)
+
+    def test_damulticast_close_to_multicast(self):
+        # daMulticast pays only g*a extra messages per level over (b).
+        diff = damulticast_messages(PAPER_SIZES) - multicast_messages(PAPER_SIZES)
+        assert 0 < diff <= 2 * 5  # 2 edges, g*a = 5 each
+
+
+class TestMemory:
+    def test_damulticast_range(self):
+        top = damulticast_memory(1000, c=5, z=3)
+        root = damulticast_memory(10, c=5, z=3, has_super=False)
+        assert top == pytest.approx(math.log(1000) + 5 + 3)
+        assert root == pytest.approx(math.log(10) + 5)
+
+    def test_broadcast_memory(self):
+        assert broadcast_memory(1110, c=5) == pytest.approx(math.log(1110) + 5)
+
+    def test_multicast_memory_sums_tables(self):
+        assert multicast_memory(PAPER_SIZES, c=5) == pytest.approx(
+            sum(math.log(s) + 5 for s in PAPER_SIZES)
+        )
+
+    def test_hierarchical_memory_eq9(self):
+        assert hierarchical_memory(10, 111, c1=5, c2=5) == pytest.approx(
+            math.log(10) + math.log(111) + 10
+        )
+
+    def test_paper_claim_damulticast_smallest(self):
+        """§VI-E.2: 'the memory complexity of a process is always smaller
+        in our algorithm than in the other algorithms' (paper scenario)."""
+        ours = damulticast_memory(1000, c=5, z=3)
+        assert ours < broadcast_memory(1110, c=5) + 3  # within z slack
+        assert ours < multicast_memory(PAPER_SIZES, c=5)
+        assert ours < hierarchical_memory(10, 111, c1=5, c2=5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            damulticast_memory(0)
+        with pytest.raises(ConfigError):
+            broadcast_messages(0)
+        with pytest.raises(ConfigError):
+            hierarchical_messages(0, 10)

@@ -1,0 +1,137 @@
+"""Unit tests for the §VI-D reliability closed forms."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    atomic_gossip_reliability,
+    broadcast_reliability,
+    damulticast_reliability,
+    damulticast_reliability_paper,
+    hierarchical_reliability,
+    intergroup_propagation_probability,
+    multicast_reliability,
+)
+from repro.analysis.reliability import susceptible_processes
+from repro.errors import ConfigError
+
+PAPER_SIZES = [1000, 100, 10]
+
+
+class TestAtomic:
+    def test_erdos_renyi_form(self):
+        assert atomic_gossip_reliability(5) == pytest.approx(
+            math.exp(-math.exp(-5))
+        )
+
+    def test_monotone_in_c(self):
+        values = [atomic_gossip_reliability(c) for c in (0, 1, 3, 5, 8)]
+        assert values == sorted(values)
+
+    def test_c0_is_1_over_e_ish(self):
+        assert atomic_gossip_reliability(0) == pytest.approx(math.exp(-1))
+
+
+class TestSusceptible:
+    def test_g_pi_product(self):
+        # S*p_sel*pi with p_sel=g/S -> g*pi
+        assert susceptible_processes(1000, g=5, pi=0.8) == pytest.approx(4.0)
+
+    def test_small_group_clamps_p_sel(self):
+        assert susceptible_processes(3, g=5, pi=1.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            susceptible_processes(0)
+        with pytest.raises(ConfigError):
+            susceptible_processes(10, pi=1.5)
+
+
+class TestPit:
+    def test_exponent_is_g_a_pi(self):
+        # pit = 1 - (1-p)^(g*a*pi)
+        pit = intergroup_propagation_probability(
+            1000, g=5, a=1, z=3, p_succ=0.85, pi=1.0
+        )
+        assert pit == pytest.approx(1 - 0.15**5)
+
+    def test_perfect_channel(self):
+        assert intergroup_propagation_probability(1000, p_succ=1.0) == 1.0
+
+    def test_more_links_help(self):
+        weak = intergroup_propagation_probability(1000, g=1, p_succ=0.5)
+        strong = intergroup_propagation_probability(1000, g=10, p_succ=0.5)
+        assert strong > weak
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            intergroup_propagation_probability(10, p_succ=1.5)
+        with pytest.raises(ConfigError):
+            intergroup_propagation_probability(10, a=0)
+
+
+class TestEndToEnd:
+    def test_single_group_equals_atomic(self):
+        assert damulticast_reliability([1000], c=5) == pytest.approx(
+            atomic_gossip_reliability(5)
+        )
+
+    def test_hop_exact_vs_paper_form(self):
+        exact = damulticast_reliability(PAPER_SIZES, p_succ=0.85)
+        paper = damulticast_reliability_paper(PAPER_SIZES, p_succ=0.85)
+        assert paper < exact  # one extra pit factor
+        # They differ exactly by pit of the top group.
+        top_pit = intergroup_propagation_probability(10, p_succ=0.85)
+        assert paper == pytest.approx(exact * top_pit)
+
+    def test_reliability_decreases_with_depth(self):
+        r1 = damulticast_reliability([1000], p_succ=0.85)
+        r2 = damulticast_reliability([1000, 100], p_succ=0.85)
+        r3 = damulticast_reliability(PAPER_SIZES, p_succ=0.85)
+        assert r1 > r2 > r3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            damulticast_reliability([])
+        with pytest.raises(ConfigError):
+            damulticast_reliability([0])
+
+
+class TestBaselineReliability:
+    def test_broadcast(self):
+        assert broadcast_reliability(5) == atomic_gossip_reliability(5)
+
+    def test_multicast_power(self):
+        assert multicast_reliability(3, 5) == pytest.approx(
+            atomic_gossip_reliability(5) ** 3
+        )
+
+    def test_hierarchical_form(self):
+        value = hierarchical_reliability(10, 5, 5)
+        assert value == pytest.approx(
+            math.exp(-10 * math.exp(-5) - math.exp(-5))
+        )
+
+    def test_paper_claim_damulticast_below_baselines(self):
+        """§VI-E.3: with lossy inter-group links, daMulticast's end-to-end
+        reliability is smaller than the baselines' "in the general case"
+        (the price of data-awareness, tunable via g/a/z). Baselines (a)
+        and (b) dominate for any loss; (c) pays an N·e^{-c1} penalty of
+        its own, so it only dominates under heavy inter-group loss."""
+        ours = damulticast_reliability(PAPER_SIZES, p_succ=0.7)
+        assert ours < broadcast_reliability(5)
+        assert ours < multicast_reliability(3, 5)
+        heavy_loss = damulticast_reliability(PAPER_SIZES, p_succ=0.2)
+        assert heavy_loss < hierarchical_reliability(10, 5, 5)
+
+    def test_perfect_links_match_multicast(self):
+        """With pit = 1 the product collapses to (b)'s reliability."""
+        ours = damulticast_reliability(PAPER_SIZES, p_succ=1.0)
+        assert ours == pytest.approx(multicast_reliability(3, 5))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            multicast_reliability(0)
+        with pytest.raises(ConfigError):
+            hierarchical_reliability(0)

@@ -1,0 +1,152 @@
+"""Unit tests for the Appendix tuning equivalences (eqs. 14-30).
+
+The key property tested throughout: plugging the derived ``c1`` back into
+the reliability formulas reproduces the target baseline's reliability —
+i.e. the algebra of the Appendix actually balances.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    atomic_gossip_reliability,
+    match_broadcast,
+    match_hierarchical,
+    match_multicast,
+)
+from repro.errors import ConfigError
+
+
+def damulticast_average_reliability(c1: float, pit: float, t: int) -> float:
+    """The paper's worst case (j=0) average-case form: (e^{-e^{-c1}}·pit)^t."""
+    return (atomic_gossip_reliability(c1) * pit) ** t
+
+
+class TestMatchMulticast:
+    def test_equality_holds(self):
+        pit = 0.999
+        c = 2.0
+        result = match_multicast(c, pit, t=3)
+        assert result.feasible
+        ours = damulticast_average_reliability(result.c1, pit, t=3)
+        target = atomic_gossip_reliability(c) ** 3
+        assert ours == pytest.approx(target, rel=1e-9)
+
+    def test_feasibility_window(self):
+        pit = 0.99
+        limit = -math.log(-math.log(pit))
+        assert match_multicast(limit - 0.01, pit).feasible
+        assert not match_multicast(limit + 0.01, pit).feasible
+        assert not match_multicast(-0.5, pit).feasible
+
+    def test_pit_one_degenerates_to_c(self):
+        result = match_multicast(3.0, 1.0)
+        assert result.feasible
+        assert result.c1 == pytest.approx(3.0)
+
+    def test_c1_exceeds_c(self):
+        # Compensating for lossy inter-group hops requires more gossip.
+        result = match_multicast(2.0, 0.995, t=3)
+        assert result.c1 > 2.0
+
+    def test_z_bound_positive_for_paper_scenario(self):
+        result = match_multicast(2.0, 0.9999, t=3, s_t=1000)
+        assert result.z_bound is not None
+        assert result.z_bound > 3  # paper's z=3 fits comfortably
+
+    def test_z_bound_formula(self):
+        pit, c, t, s_t = 0.999, 1.0, 3, 500.0
+        result = match_multicast(c, pit, t=t, s_t=s_t)
+        expected = (t - 1) * (math.log(s_t) + c) + math.log(
+            1 + math.exp(c) * math.log(pit)
+        )
+        assert result.z_bound == pytest.approx(expected)
+
+    def test_infeasible_has_no_values(self):
+        result = match_multicast(10.0, 0.9)
+        assert not result.feasible
+        assert result.c1 is None
+        assert result.z_bound is None
+
+    def test_pit_validation(self):
+        with pytest.raises(ConfigError):
+            match_multicast(1.0, 0.0)
+        with pytest.raises(ConfigError):
+            match_multicast(1.0, 1.5)
+
+
+class TestMatchBroadcast:
+    def test_equality_holds(self):
+        pit = 0.9995
+        c = 2.0
+        t = 3
+        result = match_broadcast(c, pit, t=t)
+        assert result.feasible
+        # Appendix eq. 21: sum of e^{-c1} minus ln(prod pit) equals e^{-c}.
+        lhs = t * math.exp(-result.c1) - t * math.log(pit)
+        assert lhs == pytest.approx(math.exp(-c), rel=1e-9)
+
+    def test_end_to_end_reliability_matches(self):
+        pit = 0.9995
+        c = 2.0
+        t = 3
+        result = match_broadcast(c, pit, t=t)
+        ours = damulticast_average_reliability(result.c1, pit, t)
+        assert ours == pytest.approx(atomic_gossip_reliability(c), rel=1e-9)
+
+    def test_feasibility_window(self):
+        pit, t = 0.995, 3
+        limit = -math.log(-t * math.log(pit))
+        assert match_broadcast(limit - 0.01, pit, t=t).feasible
+        assert not match_broadcast(limit + 0.01, pit, t=t).feasible
+
+    def test_z_bound_needs_n_much_larger_than_st(self):
+        # Gain requires ln(n) > ln(S_T) + ln(t): try a big system.
+        good = match_broadcast(1.0, 0.9999, t=3, n=100_000, s_t=1000)
+        assert good.z_bound is not None and good.z_bound > 0
+        tight = match_broadcast(1.0, 0.9999, t=3, n=1110, s_t=1000)
+        assert tight.z_bound is not None and tight.z_bound < 1
+
+
+class TestMatchHierarchical:
+    def test_equality_holds(self):
+        pit, c, t, n = 0.9995, 2.0, 3, 10
+        result = match_hierarchical(c, pit, t=t, n_clusters=n)
+        assert result.feasible
+        # Appendix eq. 27: t·e^{-cT} − t·ln(pit) = (N+1)·e^{-c}.
+        lhs = t * math.exp(-result.c1) - t * math.log(pit)
+        rhs = (n + 1) * math.exp(-c)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_end_to_end_reliability_matches(self):
+        pit, c, t, n = 0.9995, 2.0, 3, 10
+        result = match_hierarchical(c, pit, t=t, n_clusters=n)
+        ours = damulticast_average_reliability(result.c1, pit, t)
+        target = math.exp(-n * math.exp(-c) - math.exp(-c))
+        assert ours == pytest.approx(target, rel=1e-9)
+
+    def test_window_has_lower_bound(self):
+        pit, t, n = 0.9995, 3, 10
+        result = match_hierarchical(5.0, pit, t=t, n_clusters=n)
+        low, high = result.c_window
+        assert low > 0  # unlike the other baselines, c must not be too small
+        assert not match_hierarchical(low - 0.05, pit, t=t, n_clusters=n).feasible
+        if math.isfinite(high):
+            assert not match_hierarchical(
+                high + 0.05, pit, t=t, n_clusters=n
+            ).feasible
+
+    def test_z_bound_formula(self):
+        pit, c, t, n = 0.999, 2.0, 3, 10
+        result = match_hierarchical(c, pit, t=t, n_clusters=n)
+        if result.feasible:
+            inner = t * math.exp(c) * math.log(pit) + n + 1
+            expected = c + math.log(n) + math.log(inner) - math.log(t)
+            assert result.z_bound == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            match_hierarchical(1.0, 0.99, n_clusters=0)
+        with pytest.raises(ConfigError):
+            match_hierarchical(1.0, 0.99, t=0)

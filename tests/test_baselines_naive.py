@@ -1,0 +1,93 @@
+"""Tests for the §IV-A naive pattern-(2) comparator."""
+
+import pytest
+
+from repro.baselines import NaivePublisherSystem
+from repro.errors import ConfigError
+from repro.topics import ROOT, Topic
+
+T1 = Topic.parse(".t1")
+T2 = Topic.parse(".t1.t2")
+SIZES = {ROOT: 4, T1: 12, T2: 40}
+
+
+def populate(system):
+    for topic, count in SIZES.items():
+        system.add_group(topic, count)
+    system.finalize_membership()
+    return system
+
+
+class TestStructure:
+    def test_publisher_holds_table_per_level(self):
+        system = populate(NaivePublisherSystem(seed=0))
+        t2_process = system.subscribers_of(T2)[0]
+        assert t2_process.table_count == 3  # own + T1 + root
+        root_process = system.subscribers_of(ROOT)[0]
+        assert root_process.table_count == 1
+
+    def test_groups_hold_direct_subscribers_only(self):
+        system = populate(NaivePublisherSystem(seed=0))
+        # A root subscriber never appears in a T2 subscriber's T2 table.
+        root_pids = {p.pid for p in system.subscribers_of(ROOT)}
+        for process in system.subscribers_of(T2):
+            t2_view = process.groups[T2].view
+            assert root_pids.isdisjoint(set(t2_view.pids))
+
+    def test_empty_supertopic_skipped(self):
+        system = NaivePublisherSystem(seed=0)
+        system.add_group(ROOT, 3)
+        system.add_group(T2, 10)  # T1 unpopulated
+        system.finalize_membership()
+        process = system.subscribers_of(T2)[0]
+        assert T1 not in process.groups
+        assert ROOT in process.groups
+
+
+class TestDissemination:
+    def test_event_reaches_all_interested(self):
+        system = populate(NaivePublisherSystem(seed=1))
+        event = system.publish(T2)
+        system.run_until_idle()
+        interested = {p.pid for p in system.interested_in(T2)}
+        receivers = set(system.tracker.receivers(event.event_id))
+        assert receivers == interested
+
+    def test_no_parasites(self):
+        system = populate(NaivePublisherSystem(seed=1))
+        system.publish(T2)
+        system.publish(T1)
+        system.run_until_idle()
+        assert system.parasite_count() == 0
+
+    def test_publisher_carries_all_levels(self):
+        system = populate(NaivePublisherSystem(seed=2, p_success=1.0))
+        publisher = system.subscribers_of(T2)[0]
+        system.publish(T2, publisher=publisher)
+        system.run_until_idle()
+        load = system.stats.sender_load(publisher.pid)
+        # The publisher alone pays >= one fan-out per populated level.
+        per_level = [
+            min(system.fanout(SIZES[t]), system.table_capacity(SIZES[t]))
+            for t in (ROOT, T1, T2)
+        ]
+        assert load >= sum(per_level) - 3  # small-table slack
+
+    def test_non_publishers_stay_cheap(self):
+        system = populate(NaivePublisherSystem(seed=3, p_success=1.0))
+        publisher = system.subscribers_of(T2)[0]
+        system.publish(T2, publisher=publisher)
+        system.run_until_idle()
+        publisher_load = system.stats.sender_load(publisher.pid)
+        other_loads = [
+            system.stats.sender_load(p.pid)
+            for p in system.processes
+            if p.pid != publisher.pid
+        ]
+        assert max(other_loads) < publisher_load
+
+    def test_publish_requires_finalize(self):
+        system = NaivePublisherSystem(seed=0)
+        system.add_group(T2, 5)
+        with pytest.raises(ConfigError):
+            system.publish(T2)

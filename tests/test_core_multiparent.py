@@ -1,0 +1,135 @@
+"""Tests for the §VIII multiple-supertopics extension."""
+
+import pytest
+
+from repro.core.multiparent import MultiParentSystem
+from repro.errors import ConfigError, UnknownTopic
+from repro.topics import ROOT, Topic, TopicDag
+
+NEWS = Topic.parse(".news")
+SPORTS = Topic.parse(".sports")
+FOOTBALL = Topic.parse(".sports.football")
+
+
+def diamond_dag() -> TopicDag:
+    """football has two supertopics: .sports (path) and .news (linked)."""
+    dag = TopicDag()
+    dag.add(FOOTBALL)
+    dag.add(NEWS)
+    dag.link(FOOTBALL, NEWS)
+    return dag
+
+
+def build_system(seed=0, **kwargs):
+    system = MultiParentSystem(diamond_dag(), seed=seed, **kwargs)
+    system.add_group(ROOT, 4)
+    system.add_group(NEWS, 10)
+    system.add_group(SPORTS, 10)
+    system.add_group(FOOTBALL, 30)
+    system.finalize_static_membership()
+    return system
+
+
+class TestStructure:
+    def test_one_super_table_per_parent(self):
+        system = build_system()
+        for process in system.group(FOOTBALL):
+            assert set(process.super_tables) == {SPORTS, NEWS}
+        for process in system.group(SPORTS):
+            assert set(process.super_tables) == {ROOT}
+        for process in system.group(ROOT):
+            assert process.super_tables == {}
+
+    def test_tables_point_at_right_groups(self):
+        system = build_system()
+        for process in system.group(FOOTBALL):
+            assert process.super_tables[SPORTS].target_topic == SPORTS
+            assert process.super_tables[NEWS].target_topic == NEWS
+
+    def test_unpopulated_parent_falls_back_upward(self):
+        dag = diamond_dag()
+        system = MultiParentSystem(dag, seed=1)
+        system.add_group(ROOT, 4)
+        system.add_group(NEWS, 10)
+        system.add_group(FOOTBALL, 20)  # .sports has no subscribers
+        system.finalize_static_membership()
+        for process in system.group(FOOTBALL):
+            # The .sports-side table walks up to the root group.
+            assert process.super_tables[SPORTS].target_topic == ROOT
+            assert process.super_tables[NEWS].target_topic == NEWS
+
+    def test_unknown_topic_rejected(self):
+        system = MultiParentSystem(diamond_dag())
+        with pytest.raises(UnknownTopic):
+            system.add_process(".unregistered")
+
+    def test_add_group_validation(self):
+        system = MultiParentSystem(diamond_dag())
+        with pytest.raises(ConfigError):
+            system.add_group(NEWS, 0)
+
+    def test_publish_requires_finalize(self):
+        system = MultiParentSystem(diamond_dag())
+        system.add_group(FOOTBALL, 5)
+        with pytest.raises(ConfigError):
+            system.publish(FOOTBALL)
+
+
+class TestDissemination:
+    def test_event_reaches_both_parent_groups(self):
+        system = build_system(seed=2)
+        event = system.publish(FOOTBALL)
+        system.run_until_idle()
+        assert system.delivered_fraction(event, FOOTBALL) == 1.0
+        assert system.delivered_fraction(event, SPORTS) == 1.0
+        assert system.delivered_fraction(event, NEWS) == 1.0
+        assert system.delivered_fraction(event, ROOT) == 1.0
+
+    def test_diamond_paths_deliver_once(self):
+        system = build_system(seed=3)
+        event = system.publish(FOOTBALL)
+        system.run_until_idle()
+        # Root is reachable via both .sports and .news; dedup must keep
+        # deliveries unique.
+        for process in system.group(ROOT):
+            count = sum(
+                1 for e in process.delivered if e.event_id == event.event_id
+            )
+            assert count <= 1
+
+    def test_sibling_parent_events_stay_separate(self):
+        system = build_system(seed=4)
+        event = system.publish(NEWS)
+        system.run_until_idle()
+        # .news events are NOT .sports events nor .sports.football events.
+        assert system.delivered_fraction(event, SPORTS) == 0.0
+        assert system.delivered_fraction(event, FOOTBALL) == 0.0
+        assert system.delivered_fraction(event, ROOT) == 1.0
+
+    def test_inter_group_edges_cover_both_parents(self):
+        system = build_system(seed=5)
+        system.publish(FOOTBALL)
+        system.run_until_idle()
+        stats = system.stats
+        assert stats.events_sent_between(FOOTBALL, SPORTS) >= 1
+        assert stats.events_sent_between(FOOTBALL, NEWS) >= 1
+
+    def test_dag_interest_check(self):
+        system = build_system()
+        football_proc = system.group(FOOTBALL)[0]
+        news_proc = system.group(NEWS)[0]
+        event = football_proc.publish()
+        assert news_proc.interested_in(event)  # via the extra DAG edge
+        system.run_until_idle()
+
+    def test_memory_footprint_counts_all_tables(self):
+        system = build_system()
+        for process in system.group(FOOTBALL):
+            # topic table + two z-sized super tables
+            expected_super = sum(
+                len(t) for t in process.super_tables.values()
+            )
+            assert process.memory_footprint == len(
+                process.topic_view
+            ) + expected_super
+            assert expected_super >= 2

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract.
+
+Applications rely on catching ``ReproError`` for any library failure and
+on subsystem-specific subclasses for selective handling; this locks the
+hierarchy in place.
+"""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_topic_errors(self):
+        assert issubclass(errors.InvalidTopicName, errors.TopicError)
+        assert issubclass(errors.UnknownTopic, errors.TopicError)
+        assert issubclass(errors.HierarchyError, errors.TopicError)
+
+    def test_simulation_errors(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+    def test_network_errors(self):
+        assert issubclass(errors.UnknownActor, errors.NetworkError)
+
+    def test_catchability(self):
+        from repro.topics import Topic
+
+        with pytest.raises(errors.ReproError):
+            Topic.parse(".bad topic!")
+
+    def test_config_error_is_repro_error(self):
+        from repro.core import TopicParams
+
+        with pytest.raises(errors.ReproError):
+            TopicParams(z=0)

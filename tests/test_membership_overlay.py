@@ -1,0 +1,93 @@
+"""Unit tests for the weakly-consistent bootstrap overlay."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, UnknownActor
+from repro.membership import BootstrapOverlay, ProcessDescriptor
+from repro.topics import Topic
+
+T = Topic.parse(".t")
+
+
+def population(n):
+    return [ProcessDescriptor(pid, T) for pid in range(n)]
+
+
+class TestPopulate:
+    def test_degree_contacts(self):
+        overlay = BootstrapOverlay(degree=5)
+        overlay.populate(population(50), random.Random(0))
+        for pid in range(50):
+            contacts = overlay.neighborhood(pid)
+            assert len(contacts) == 5
+            assert all(c.pid != pid for c in contacts)
+
+    def test_small_population(self):
+        overlay = BootstrapOverlay(degree=5)
+        overlay.populate(population(3), random.Random(0))
+        assert len(overlay.neighborhood(0)) == 2
+
+    def test_contacts_distinct(self):
+        overlay = BootstrapOverlay(degree=10)
+        overlay.populate(population(30), random.Random(1))
+        contacts = overlay.neighborhood(0)
+        assert len({c.pid for c in contacts}) == len(contacts)
+
+    def test_len_and_contains(self):
+        overlay = BootstrapOverlay()
+        overlay.populate(population(10), random.Random(0))
+        assert len(overlay) == 10
+        assert 3 in overlay
+        assert 99 not in overlay
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigError):
+            BootstrapOverlay(degree=0)
+
+
+class TestAddProcess:
+    def test_late_joiner_gets_contacts(self):
+        overlay = BootstrapOverlay(degree=4)
+        overlay.populate(population(20), random.Random(0))
+        joiner = ProcessDescriptor(100, T)
+        overlay.add_process(joiner, random.Random(1))
+        assert len(overlay.neighborhood(100)) == 4
+
+    def test_late_joiner_is_discoverable(self):
+        overlay = BootstrapOverlay(degree=4)
+        overlay.populate(population(20), random.Random(0))
+        joiner = ProcessDescriptor(100, T)
+        overlay.add_process(joiner, random.Random(1))
+        knowers = [
+            pid
+            for pid in range(20)
+            if any(c.pid == 100 for c in overlay.neighborhood(pid))
+        ]
+        assert len(knowers) >= 1
+
+    def test_first_process_has_no_contacts(self):
+        overlay = BootstrapOverlay(degree=4)
+        overlay.add_process(ProcessDescriptor(0, T), random.Random(0))
+        assert overlay.neighborhood(0) == []
+
+
+class TestQueries:
+    def test_descriptor_lookup(self):
+        overlay = BootstrapOverlay()
+        overlay.populate(population(5), random.Random(0))
+        assert overlay.descriptor(3).pid == 3
+
+    def test_unknown_pid_raises(self):
+        overlay = BootstrapOverlay()
+        with pytest.raises(UnknownActor):
+            overlay.neighborhood(7)
+        with pytest.raises(UnknownActor):
+            overlay.descriptor(7)
+
+    def test_neighborhood_returns_copy(self):
+        overlay = BootstrapOverlay()
+        overlay.populate(population(5), random.Random(0))
+        overlay.neighborhood(0).clear()
+        assert overlay.neighborhood(0)  # unaffected

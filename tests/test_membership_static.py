@@ -1,0 +1,100 @@
+"""Unit tests for static (paper-mode) membership drawing."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.membership import (
+    ProcessDescriptor,
+    draw_super_table,
+    draw_topic_table,
+    static_table_capacity,
+)
+from repro.membership.static import nearest_populated_super
+from repro.topics import ROOT, Topic
+
+T1 = Topic.parse(".t1")
+T2 = Topic.parse(".t1.t2")
+
+
+def group(topic, pids):
+    return [ProcessDescriptor(pid, topic) for pid in pids]
+
+
+class TestCapacity:
+    def test_paper_value_base10(self):
+        # S=1000, b=3, log10 -> (3+1)*3 = 12
+        assert static_table_capacity(1000, b=3, log_base=10) == 12
+
+    def test_paper_value_natural(self):
+        expected = math.ceil(4 * math.log(1000))
+        assert static_table_capacity(1000, b=3) == expected
+
+    def test_singleton_group(self):
+        assert static_table_capacity(1, b=3) == 1
+
+    def test_small_group_at_least_one(self):
+        assert static_table_capacity(2, b=0) >= 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            static_table_capacity(0, b=3)
+
+
+class TestDrawTopicTable:
+    def test_excludes_self(self):
+        members = group(T2, range(10))
+        table = draw_topic_table(members[0], members, 5, random.Random(0))
+        assert members[0].pid not in table
+
+    def test_capacity_respected(self):
+        members = group(T2, range(50))
+        table = draw_topic_table(members[0], members, 7, random.Random(0))
+        assert len(table) == 7
+
+    def test_small_group_takes_everyone_else(self):
+        members = group(T2, range(3))
+        table = draw_topic_table(members[0], members, 10, random.Random(0))
+        assert len(table) == 2
+
+    def test_deterministic(self):
+        members = group(T2, range(30))
+        t1 = draw_topic_table(members[0], members, 5, random.Random(3))
+        t2 = draw_topic_table(members[0], members, 5, random.Random(3))
+        assert t1.pids == t2.pids
+
+
+class TestDrawSuperTable:
+    def test_size_z(self):
+        supers = group(T1, range(100, 120))
+        table = draw_super_table(supers, 3, random.Random(0))
+        assert len(table) == 3
+
+    def test_small_supergroup(self):
+        supers = group(T1, [100])
+        table = draw_super_table(supers, 3, random.Random(0))
+        assert table.pids == [100]
+
+
+class TestNearestPopulatedSuper:
+    def test_direct_super_populated(self):
+        population = {T1: group(T1, [1]), T2: group(T2, [2])}
+        assert nearest_populated_super(T2, population) == T1
+
+    def test_skips_empty_super(self):
+        population = {T1: [], ROOT: group(ROOT, [0]), T2: group(T2, [2])}
+        assert nearest_populated_super(T2, population) == ROOT
+
+    def test_unlisted_super_skipped(self):
+        population = {ROOT: group(ROOT, [0]), T2: group(T2, [2])}
+        assert nearest_populated_super(T2, population) == ROOT
+
+    def test_no_populated_super(self):
+        population = {T2: group(T2, [2])}
+        assert nearest_populated_super(T2, population) is None
+
+    def test_root_has_no_super(self):
+        population = {ROOT: group(ROOT, [0])}
+        assert nearest_populated_super(ROOT, population) is None

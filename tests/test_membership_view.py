@@ -1,0 +1,184 @@
+"""Unit tests for PartialView and ProcessDescriptor."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, MembershipError
+from repro.membership import PartialView, ProcessDescriptor
+from repro.topics import Topic
+
+T = Topic.parse(".t")
+
+
+def desc(pid: int) -> ProcessDescriptor:
+    return ProcessDescriptor(pid, T)
+
+
+class TestAdd:
+    def test_add_and_contains(self):
+        view = PartialView(4)
+        assert view.add(desc(1))
+        assert 1 in view
+        assert len(view) == 1
+
+    def test_duplicate_add_is_noop(self):
+        view = PartialView(4)
+        view.add(desc(1))
+        view.add(desc(1))
+        assert len(view) == 1
+
+    def test_overflow_evicts_uniformly(self):
+        rng = random.Random(0)
+        view = PartialView(3)
+        for pid in range(10):
+            view.add(desc(pid), rng)
+        assert len(view) == 3
+
+    def test_overflow_without_rng_raises(self):
+        view = PartialView(1)
+        view.add(desc(1))
+        with pytest.raises(MembershipError):
+            view.add(desc(2))
+
+    def test_add_returns_false_if_self_evicted(self):
+        # With capacity 1, adding repeatedly: sometimes the newcomer itself
+        # is evicted. Exercise both outcomes over many trials.
+        rng = random.Random(1)
+        outcomes = set()
+        for trial in range(50):
+            view = PartialView(1)
+            view.add(desc(0), rng)
+            outcomes.add(view.add(desc(trial + 1), rng))
+        assert outcomes == {True, False}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            PartialView(0)
+
+
+class TestMergeRemove:
+    def test_merge_counts_new(self):
+        view = PartialView(10)
+        view.add(desc(1))
+        added = view.merge([desc(1), desc(2), desc(3)])
+        assert added == 2
+        assert len(view) == 3
+
+    def test_remove(self):
+        view = PartialView(4)
+        view.add(desc(1))
+        assert view.remove(1)
+        assert not view.remove(1)
+        assert 1 not in view
+
+    def test_replace_drops_stale_and_fills(self):
+        view = PartialView(3)
+        for pid in (1, 2, 3):
+            view.add(desc(pid))
+        admitted = view.replace([1, 2], [desc(10), desc(11), desc(12)])
+        assert admitted == 2  # only freed capacity is filled
+        assert 3 in view  # favorite kept
+        assert len(view) == 3
+
+    def test_replace_does_not_duplicate(self):
+        view = PartialView(3)
+        view.add(desc(1))
+        admitted = view.replace([], [desc(1), desc(2)])
+        assert admitted == 1
+
+    def test_clear(self):
+        view = PartialView(3)
+        view.add(desc(1))
+        view.clear()
+        assert len(view) == 0
+
+    def test_set_capacity_grow_keeps_entries(self):
+        view = PartialView(2)
+        view.add(desc(1))
+        view.add(desc(2))
+        view.set_capacity(5)
+        assert view.capacity == 5
+        assert sorted(view.pids) == [1, 2]
+
+    def test_set_capacity_shrink_evicts(self):
+        rng = random.Random(0)
+        view = PartialView(5)
+        for pid in range(5):
+            view.add(desc(pid))
+        view.set_capacity(2, rng)
+        assert view.capacity == 2
+        assert len(view) == 2
+
+    def test_set_capacity_shrink_without_rng_raises(self):
+        view = PartialView(3)
+        for pid in range(3):
+            view.add(desc(pid))
+        with pytest.raises(MembershipError):
+            view.set_capacity(1)
+
+    def test_set_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            PartialView(2).set_capacity(0)
+
+
+class TestQueries:
+    def test_insertion_order_preserved(self):
+        view = PartialView(5)
+        for pid in (3, 1, 2):
+            view.add(desc(pid))
+        assert view.pids == [3, 1, 2]
+        assert [d.pid for d in view.descriptors()] == [3, 1, 2]
+
+    def test_is_full(self):
+        view = PartialView(2)
+        view.add(desc(1))
+        assert not view.is_full
+        view.add(desc(2))
+        assert view.is_full
+
+    def test_sample_size_and_exclusion(self):
+        rng = random.Random(0)
+        view = PartialView(10)
+        for pid in range(10):
+            view.add(desc(pid))
+        sample = view.sample(4, rng, exclude=[0, 1])
+        assert len(sample) == 4
+        assert all(d.pid not in (0, 1) for d in sample)
+
+    def test_sample_more_than_available(self):
+        rng = random.Random(0)
+        view = PartialView(10)
+        view.add(desc(1))
+        assert len(view.sample(5, rng)) == 1
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ConfigError):
+            PartialView(2).sample(-1, random.Random(0))
+
+    def test_sample_distinct(self):
+        rng = random.Random(0)
+        view = PartialView(10)
+        for pid in range(10):
+            view.add(desc(pid))
+        sample = view.sample(10, rng)
+        assert len({d.pid for d in sample}) == 10
+
+    def test_iteration_snapshot_safe(self):
+        view = PartialView(5)
+        for pid in range(3):
+            view.add(desc(pid))
+        for descriptor in view:
+            view.remove(descriptor.pid)  # must not blow up mid-iteration
+        assert len(view) == 0
+
+
+class TestDescriptor:
+    def test_ordering(self):
+        a = ProcessDescriptor(1, T)
+        b = ProcessDescriptor(2, T)
+        assert a < b
+
+    def test_equality_and_hash(self):
+        assert desc(1) == desc(1)
+        assert len({desc(1), desc(1)}) == 1

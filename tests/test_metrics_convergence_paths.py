@@ -1,0 +1,137 @@
+"""Tests for overlay-convergence metrics and hop-depth analysis."""
+
+import pytest
+
+from repro.core import DaMulticastSystem
+from repro.core.events import Event, EventId
+from repro.metrics.collector import DeliveryTracker
+from repro.metrics.convergence import overlay_stats, view_graph, views_of
+from repro.metrics.paths import (
+    hop_distribution,
+    hops_by_group,
+    max_hops,
+    mean_hops,
+)
+from repro.topics import ROOT, Topic
+
+T1 = Topic.parse(".t1")
+T2 = Topic.parse(".t1.t2")
+
+
+class TestOverlayStats:
+    def test_connected_ring(self):
+        views = {i: [(i + 1) % 5] for i in range(5)}
+        stats = overlay_stats(views)
+        assert stats.connected
+        assert stats.reachable_from_first == 5
+        assert stats.min_in_degree == 1
+        assert stats.mean_view_size == 1.0
+
+    def test_disconnected_detected(self):
+        views = {0: [1], 1: [0], 2: [3], 3: [2]}
+        stats = overlay_stats(views)
+        assert not stats.connected
+        assert stats.reachable_from_first == 2
+
+    def test_stale_entries_counted(self):
+        views = {0: [1, 99], 1: [0]}  # 99 is not a participant
+        stats = overlay_stats(views)
+        assert stats.stale_entry_fraction == pytest.approx(1 / 3)
+
+    def test_dead_members_excluded(self):
+        views = {0: [1, 2], 1: [0], 2: [0]}
+        stats = overlay_stats(views, is_alive=lambda pid: pid != 2)
+        assert stats.n_processes == 2
+        # Entry pointing at dead 2 counts as stale.
+        assert stats.stale_entry_fraction > 0
+
+    def test_isolated_member_unhealthy(self):
+        views = {0: [1], 1: [0], 2: []}  # 2 knows nobody, nobody knows 2
+        stats = overlay_stats(views)
+        assert not stats.is_healthy()
+        assert stats.min_in_degree == 0
+
+    def test_empty_population(self):
+        stats = overlay_stats({})
+        assert stats.connected
+        assert stats.n_processes == 0
+
+    def test_view_graph_restricts_to_members(self):
+        graph = view_graph({0: [1, 99], 1: [0]})
+        assert graph[0] == {1}
+
+    def test_views_of_damulticast_processes(self):
+        system = DaMulticastSystem(seed=0, mode="static")
+        system.add_group(T2, 5)
+        system.finalize_static_membership()
+        views = views_of(system.group(T2))
+        assert len(views) == 5
+        stats = overlay_stats(views)
+        assert stats.connected  # static drawing connects small groups
+
+    def test_dynamic_membership_converges_to_healthy_overlay(self):
+        system = DaMulticastSystem(seed=3, mode="dynamic")
+        system.add_group(T2, 15)
+        system.run(until=40.0)
+        stats = overlay_stats(views_of(system.group(T2)))
+        assert stats.connected
+        assert stats.min_in_degree >= 1
+
+
+class TestHops:
+    def test_tracker_records_hops(self):
+        tracker = DeliveryTracker()
+        event = Event(EventId(0, 1), T2, None, 0.0)
+        tracker.record_delivery(1, event, 0.0, hops=2)
+        tracker.record_delivery(2, event, 0.0, hops=3)
+        tracker.record_delivery(2, event, 0.0, hops=9)  # duplicate ignored
+        assert tracker.delivery_hops(event.event_id) == {1: 2, 2: 3}
+
+    def test_distribution_and_aggregates(self):
+        tracker = DeliveryTracker()
+        event = Event(EventId(0, 1), T2, None, 0.0)
+        tracker.record_delivery(0, event, 0.0, hops=0)  # publisher
+        tracker.record_delivery(1, event, 0.0, hops=1)
+        tracker.record_delivery(2, event, 0.0, hops=1)
+        tracker.record_delivery(3, event, 0.0, hops=3)
+        assert hop_distribution(tracker, event.event_id)[1] == 2
+        assert mean_hops(tracker, event.event_id) == pytest.approx(5 / 3)
+        assert max_hops(tracker, event.event_id) == 3
+
+    def test_mean_hops_none_when_unrecorded(self):
+        tracker = DeliveryTracker()
+        assert mean_hops(tracker, EventId(0, 9)) is None
+        assert max_hops(tracker, EventId(0, 9)) == 0
+
+    def test_end_to_end_hops_grow_up_the_hierarchy(self):
+        system = DaMulticastSystem(seed=5, mode="static")
+        system.add_group(ROOT, 4)
+        system.add_group(T1, 10)
+        system.add_group(T2, 40)
+        system.finalize_static_membership()
+        event = system.publish(T2)
+        system.run_until_idle()
+        per_group = hops_by_group(
+            system.tracker,
+            event.event_id,
+            {
+                T2: system.group_pids(T2),
+                T1: system.group_pids(T1),
+                ROOT: system.group_pids(ROOT),
+            },
+        )
+        assert per_group[T2] is not None
+        assert per_group[T1] is not None
+        assert per_group[ROOT] is not None
+        # Supergroups are reached strictly deeper than the publication group.
+        assert per_group[T1] > per_group[T2]
+        assert per_group[ROOT] > per_group[T1]
+
+    def test_hops_bounded_by_logarithmic_depth(self):
+        system = DaMulticastSystem(seed=6, mode="static")
+        system.add_group(T2, 60)
+        system.finalize_static_membership()
+        event = system.publish(T2)
+        system.run_until_idle()
+        # Epidemic depth is O(log S): generous cap well below S.
+        assert max_hops(system.tracker, event.event_id) <= 20

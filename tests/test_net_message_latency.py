@@ -1,0 +1,119 @@
+"""Unit tests for message types, scopes and latency models."""
+
+import random
+
+import pytest
+
+from repro.core.events import Event, EventFactory, EventId
+from repro.errors import ConfigError
+from repro.net import (
+    ConstantLatency,
+    ExponentialLatency,
+    UniformLatency,
+    ZERO_LATENCY,
+)
+from repro.net.message import EventMessage, Scope
+from repro.topics import Topic
+
+T1 = Topic.parse(".t1")
+T2 = Topic.parse(".t1.t2")
+
+
+class TestScope:
+    def test_intra_scope(self):
+        scope = Scope("intra", T2)
+        assert scope.kind == "intra"
+        assert scope.super_group is None
+
+    def test_inter_scope_requires_super_group(self):
+        with pytest.raises(ValueError):
+            Scope("inter", T2)
+
+    def test_inter_scope(self):
+        scope = Scope("inter", T2, T1)
+        assert scope.super_group == T1
+
+    def test_scope_is_hashable_value(self):
+        assert Scope("intra", T2) == Scope("intra", T2)
+        assert len({Scope("intra", T2), Scope("intra", T2)}) == 1
+
+
+class TestEventMessage:
+    def test_default_hops(self):
+        event = Event(EventId(1, 1), T2, None, 0.0)
+        message = EventMessage(sender=1, event=event, scope=Scope("intra", T2))
+        assert message.hops == 1
+        assert message.kind == "event"
+
+    def test_messages_are_immutable(self):
+        event = Event(EventId(1, 1), T2, None, 0.0)
+        message = EventMessage(sender=1, event=event, scope=Scope("intra", T2))
+        with pytest.raises(AttributeError):
+            message.hops = 5  # type: ignore[misc]
+
+
+class TestEventFactory:
+    def test_sequences_increase(self):
+        factory = EventFactory(7)
+        first = factory.create(T2, None, 0.0)
+        second = factory.create(T2, None, 1.0)
+        assert first.event_id.sequence < second.event_id.sequence
+        assert first.event_id.publisher == 7
+
+    def test_event_ids_unique_across_factories(self):
+        a = EventFactory(1).create(T2, None, 0.0)
+        b = EventFactory(2).create(T2, None, 0.0)
+        assert a.event_id != b.event_id
+
+    def test_is_of_topic(self):
+        event = EventFactory(1).create(T2, None, 0.0)
+        assert event.is_of_topic(T2)
+        assert event.is_of_topic(T1)
+        assert not event.is_of_topic(Topic.parse(".other"))
+
+    def test_str_forms(self):
+        event = EventFactory(3).create(T2, None, 0.0)
+        assert str(event.event_id) == "e3.1"
+        assert ".t1.t2" in str(event)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        rng = random.Random(0)
+        model = ConstantLatency(2.5)
+        assert model.sample(rng) == 2.5
+        assert ZERO_LATENCY.sample(rng) == 0.0
+
+    def test_constant_validation(self):
+        with pytest.raises(ConfigError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_bounds(self):
+        rng = random.Random(1)
+        model = UniformLatency(1.0, 3.0)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert max(samples) > 2.5  # spread actually used
+
+    def test_uniform_validation(self):
+        with pytest.raises(ConfigError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(ConfigError):
+            UniformLatency(-1.0, 1.0)
+
+    def test_exponential_mean(self):
+        rng = random.Random(2)
+        model = ExponentialLatency(2.0)
+        samples = [model.sample(rng) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert 1.8 <= mean <= 2.2
+        assert all(s >= 0 for s in samples)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ConfigError):
+            ExponentialLatency(0.0)
+
+    def test_reprs(self):
+        assert "2.5" in repr(ConstantLatency(2.5))
+        assert "Uniform" in repr(UniformLatency(0, 1))
+        assert "Exponential" in repr(ExponentialLatency(1.0))

@@ -1,0 +1,196 @@
+"""Unit tests for the Network transmission pipeline."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, UnknownActor
+from repro.failures import DynamicFailures, StillbornFailures
+from repro.failures.churn import ChurnSchedule
+from repro.net import ConstantLatency, Network, StaticPartition
+from repro.net.message import Message, Ping
+from repro.sim import Engine, TraceLog
+
+
+class Recorder:
+    """Minimal actor capturing everything delivered to it."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.inbox: list[Message] = []
+
+    def handle_message(self, message: Message) -> None:
+        self.inbox.append(message)
+
+
+def make_net(**kwargs):
+    engine = Engine()
+    net = Network(engine, random.Random(0), **kwargs)
+    actors = [Recorder(i) for i in range(4)]
+    for actor in actors:
+        net.register(actor)
+    return engine, net, actors
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        _, net, actors = make_net()
+        assert net.actor(0) is actors[0]
+        assert 2 in net
+        assert len(net) == 4
+        assert net.pids == [0, 1, 2, 3]
+
+    def test_duplicate_pid_rejected(self):
+        _, net, _ = make_net()
+        with pytest.raises(ConfigError):
+            net.register(Recorder(0))
+
+    def test_unknown_actor_lookup_raises(self):
+        _, net, _ = make_net()
+        with pytest.raises(UnknownActor):
+            net.actor(99)
+
+    def test_send_to_unknown_raises(self):
+        _, net, _ = make_net()
+        with pytest.raises(UnknownActor):
+            net.send(0, 99, Ping(sender=0, nonce=1))
+
+
+class TestDelivery:
+    def test_reliable_delivery(self):
+        engine, net, actors = make_net()
+        net.send(0, 1, Ping(sender=0, nonce=7))
+        engine.run()
+        assert len(actors[1].inbox) == 1
+        assert actors[1].inbox[0].nonce == 7
+
+    def test_stats_count_sent_and_delivered(self):
+        engine, net, _ = make_net()
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        assert net.stats.sent_by_kind["ping"] == 1
+        assert net.stats.delivered_by_kind["ping"] == 1
+
+    def test_latency_delays_delivery(self):
+        engine, net, actors = make_net(latency=ConstantLatency(5.0))
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run(until=4.0)
+        assert actors[1].inbox == []
+        engine.run()
+        assert len(actors[1].inbox) == 1
+        assert engine.now == 5.0
+
+    def test_lossy_channel_drops_some(self):
+        engine, net, actors = make_net(p_success=0.5)
+        for _ in range(200):
+            net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        delivered = len(actors[1].inbox)
+        assert 60 <= delivered <= 140  # ~100 expected
+        assert net.stats.dropped_by_reason["channel_loss"] == 200 - delivered
+
+    def test_p_success_zero_drops_all(self):
+        engine, net, actors = make_net(p_success=0.0)
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        assert actors[1].inbox == []
+
+    def test_invalid_p_success(self):
+        with pytest.raises(ConfigError):
+            make_net(p_success=1.5)
+
+
+class TestFailures:
+    def test_dead_target_drops_at_delivery(self):
+        engine, net, actors = make_net(failure_model=StillbornFailures({1}))
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        assert actors[1].inbox == []
+        assert net.stats.dropped_by_reason["dead_target"] == 1
+        # The send attempt is still counted (message complexity is paid).
+        assert net.stats.sent_by_kind["ping"] == 1
+
+    def test_dead_sender_cannot_send(self):
+        engine, net, actors = make_net(failure_model=StillbornFailures({0}))
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        assert actors[1].inbox == []
+        assert net.stats.dropped_by_reason["dead_sender"] == 1
+
+    def test_alive_passthrough(self):
+        _, net, _ = make_net(failure_model=StillbornFailures({3}))
+        assert net.is_alive(0)
+        assert not net.is_alive(3)
+        assert net.alive_pids() == [0, 1, 2]
+
+    def test_dynamic_failures_block_probabilistically(self):
+        engine, net, actors = make_net(
+            failure_model=DynamicFailures(fail_probability=0.5)
+        )
+        for _ in range(200):
+            net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        blocked = net.stats.dropped_by_reason["perceived_failed"]
+        assert 60 <= blocked <= 140
+
+    def test_churn_target_dies_in_flight(self):
+        schedule = ChurnSchedule().crash_at(1, 2.0)
+        engine, net, actors = make_net(
+            failure_model=schedule, latency=ConstantLatency(5.0)
+        )
+        net.send(0, 1, Ping(sender=0, nonce=1))  # arrives at t=5, dead at t=2
+        engine.run()
+        assert actors[1].inbox == []
+        assert net.stats.dropped_by_reason["dead_target"] == 1
+
+
+class TestPartitions:
+    def test_partitioned_pair_blocked(self):
+        engine, net, actors = make_net(
+            partition_model=StaticPartition([[0, 1], [2, 3]])
+        )
+        net.send(0, 2, Ping(sender=0, nonce=1))
+        net.send(0, 1, Ping(sender=0, nonce=2))
+        engine.run()
+        assert actors[2].inbox == []
+        assert len(actors[1].inbox) == 1
+        assert net.stats.dropped_by_reason["partitioned"] == 1
+
+    def test_partition_heals(self):
+        engine, net, actors = make_net(
+            partition_model=StaticPartition([[0, 1], [2, 3]], heals_at=10.0)
+        )
+        engine.schedule(10.0, lambda: net.send(0, 2, Ping(sender=0, nonce=1)))
+        engine.run()
+        assert len(actors[2].inbox) == 1
+
+
+class TestTracing:
+    def test_trace_records_sent_and_delivered(self):
+        engine = Engine()
+        trace = TraceLog()
+        net = Network(engine, random.Random(0), trace=trace)
+        a, b = Recorder(0), Recorder(1)
+        net.register(a)
+        net.register(b)
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        assert trace.count("net.sent") == 1
+        assert trace.count("net.delivered") == 1
+
+    def test_trace_records_drops_with_reason(self):
+        engine = Engine()
+        trace = TraceLog()
+        net = Network(
+            engine,
+            random.Random(0),
+            trace=trace,
+            failure_model=StillbornFailures({1}),
+        )
+        net.register(Recorder(0))
+        net.register(Recorder(1))
+        net.send(0, 1, Ping(sender=0, nonce=1))
+        engine.run()
+        drops = trace.filter("net.dropped")
+        assert len(drops) == 1
+        assert drops[0].detail["reason"] == "dead_target"

@@ -1,0 +1,121 @@
+"""Property-based tests: the closed-form analysis behaves like analysis.
+
+Monotonicity, bounds and algebraic identities over random parameters —
+these catch transcription errors in formulas that spot checks miss.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.analysis import (
+    atomic_gossip_reliability,
+    damulticast_memory,
+    damulticast_messages,
+    damulticast_reliability,
+    intergroup_propagation_probability,
+    match_broadcast,
+    match_hierarchical,
+    match_multicast,
+)
+from repro.analysis.complexity import damulticast_message_bound
+
+sizes_strategy = st.lists(st.integers(1, 5000), min_size=1, max_size=6)
+prob = st.floats(0.01, 1.0)
+
+
+@given(sizes_strategy, st.floats(0, 10), st.floats(1, 20), st.integers(1, 10))
+@settings(max_examples=150)
+def test_messages_nonnegative_and_bounded(sizes, c, g, z):
+    value = damulticast_messages(sizes, c=c, g=g, a=1, z=z)
+    assert value >= 0
+    bound = damulticast_message_bound(sizes, c=c, z=z)
+    intra_only = sum(s * (math.log(s) if s > 1 else 0) + s * c for s in sizes)
+    assert value >= intra_only - 1e-9
+
+
+@given(sizes_strategy, st.floats(0, 8))
+def test_messages_monotone_in_c(sizes, c):
+    low = damulticast_messages(sizes, c=c)
+    high = damulticast_messages(sizes, c=c + 1)
+    assert high >= low
+
+
+@given(st.integers(1, 100_000), st.floats(0, 10), st.integers(1, 10))
+def test_memory_monotone_in_group_size(s, c, z):
+    assert damulticast_memory(s + 1, c=c, z=z) >= damulticast_memory(
+        s, c=c, z=z
+    )
+
+
+@given(st.floats(-2, 12))
+def test_atomic_reliability_is_probability(c):
+    value = atomic_gossip_reliability(c)
+    assert 0.0 < value < 1.0
+
+
+@given(st.integers(1, 10_000), st.floats(1, 50), prob)
+def test_pit_is_probability_and_monotone_in_g(s, g, p_succ):
+    low = intergroup_propagation_probability(s, g=g, p_succ=p_succ)
+    high = intergroup_propagation_probability(s, g=g + 1, p_succ=p_succ)
+    assert 0.0 <= low <= 1.0
+    assert high >= low - 1e-12
+
+
+@given(sizes_strategy, st.floats(0, 8), prob)
+def test_reliability_is_probability_and_shrinks_with_depth(sizes, c, p_succ):
+    value = damulticast_reliability(sizes, c=c, p_succ=p_succ)
+    assert 0.0 <= value <= 1.0
+    deeper = damulticast_reliability(sizes + [10], c=c, p_succ=p_succ)
+    assert deeper <= value + 1e-12
+
+
+@given(st.floats(0.0, 7.0), st.floats(0.9, 0.999999), st.integers(1, 6))
+@settings(max_examples=200)
+def test_multicast_match_algebra_balances(c, pit, t):
+    result = match_multicast(c, pit, t=t, s_t=1000)
+    if not result.feasible:
+        return
+    # (e^{-e^{-c1}} * pit)^t == (e^{-e^{-c}})^t  — the Appendix identity.
+    ours = (atomic_gossip_reliability(result.c1) * pit) ** t
+    target = atomic_gossip_reliability(c) ** t
+    assert math.isclose(ours, target, rel_tol=1e-9)
+    assert result.c1 >= 0.0
+
+
+@given(st.floats(0.0, 6.0), st.floats(0.99, 0.999999), st.integers(1, 6))
+@settings(max_examples=200)
+def test_broadcast_match_algebra_balances(c, pit, t):
+    result = match_broadcast(c, pit, t=t, n=10_000, s_t=1000)
+    if not result.feasible:
+        return
+    ours = (atomic_gossip_reliability(result.c1) * pit) ** t
+    assert math.isclose(
+        ours, atomic_gossip_reliability(c), rel_tol=1e-9
+    )
+    assert result.c1 >= -1e-12
+
+
+@given(
+    st.floats(0.0, 8.0),
+    st.floats(0.99, 0.999999),
+    st.integers(1, 6),
+    st.integers(1, 40),
+)
+@settings(max_examples=200)
+def test_hierarchical_match_algebra_balances(c, pit, t, n_clusters):
+    result = match_hierarchical(c, pit, t=t, n_clusters=n_clusters)
+    if not result.feasible:
+        return
+    ours = (atomic_gossip_reliability(result.c1) * pit) ** t
+    target = math.exp(-n_clusters * math.exp(-c) - math.exp(-c))
+    assert math.isclose(ours, target, rel_tol=1e-9)
+    assert result.c1 >= -1e-12
+
+
+@given(st.floats(0.0, 7.0), st.floats(0.9, 0.999999), st.integers(1, 6))
+def test_feasibility_windows_are_consistent(c, pit, t):
+    result = match_multicast(c, pit, t=t)
+    low, high = result.c_window
+    assert result.feasible == (low <= c <= high)

@@ -1,0 +1,115 @@
+"""Property-based tests: PartialView and SuperTopicTable invariants."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.tables import SuperTopicTable
+from repro.membership import PartialView, ProcessDescriptor
+from repro.topics import Topic
+
+T1 = Topic.parse(".t1")
+T2 = Topic.parse(".t1.t2")
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 40)),
+        st.tuples(st.just("remove"), st.integers(0, 40)),
+    ),
+    max_size=60,
+)
+
+
+@given(st.integers(1, 8), operations, st.integers(0, 2**32))
+@settings(max_examples=150)
+def test_view_never_exceeds_capacity_and_has_no_duplicates(
+    capacity, ops, seed
+):
+    rng = random.Random(seed)
+    view = PartialView(capacity)
+    for op, pid in ops:
+        if op == "add":
+            view.add(ProcessDescriptor(pid, T2), rng)
+        else:
+            view.remove(pid)
+        assert len(view) <= capacity
+        pids = view.pids
+        assert len(pids) == len(set(pids))
+
+
+@given(
+    st.integers(1, 8),
+    st.lists(st.integers(0, 30), min_size=0, max_size=30),
+    st.integers(0, 2**32),
+)
+def test_view_membership_reflects_adds_below_capacity(capacity, pids, seed):
+    rng = random.Random(seed)
+    view = PartialView(capacity)
+    unique = list(dict.fromkeys(pids))
+    for pid in unique:
+        view.add(ProcessDescriptor(pid, T2), rng)
+    if len(unique) <= capacity:
+        # No eviction could have happened: everyone must be present.
+        assert sorted(view.pids) == sorted(unique)
+
+
+@given(
+    st.lists(st.integers(0, 30), min_size=1, max_size=20, unique=True),
+    st.integers(0, 10),
+    st.integers(0, 2**32),
+)
+def test_sample_is_subset_without_excluded(pids, k, seed):
+    rng = random.Random(seed)
+    view = PartialView(32)
+    for pid in pids:
+        view.add(ProcessDescriptor(pid, T2), rng)
+    exclude = set(pids[::2])
+    sample = view.sample(k, rng, exclude=exclude)
+    sample_pids = [d.pid for d in sample]
+    assert len(sample_pids) == len(set(sample_pids))
+    assert set(sample_pids) <= set(pids) - exclude
+    assert len(sample) == min(k, len(set(pids) - exclude))
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=0, max_size=10, unique=True),
+    st.lists(st.integers(21, 40), min_size=0, max_size=10, unique=True),
+    st.integers(0, 2**32),
+)
+def test_super_table_merge_fresh_keeps_capacity_and_favorites(
+    initial, fresh, seed
+):
+    rng = random.Random(seed)
+    table = SuperTopicTable(z=3)
+    table.adopt(
+        T1, [ProcessDescriptor(p, T1) for p in initial], rng, own_topic=T2
+    )
+    survivors = table.pids[1:]  # drop the oldest as "failed"
+    stale = table.pids[:1]
+    table.merge_fresh(stale, [ProcessDescriptor(p, T1) for p in fresh])
+    assert len(table) <= 3
+    for pid in survivors:
+        assert pid in table  # favorites always survive MERGE
+    for pid in stale:
+        assert pid not in table
+
+
+@given(
+    st.lists(st.integers(0, 30), min_size=1, max_size=10, unique=True),
+    st.floats(0.0, 50.0),
+    st.floats(0.1, 10.0),
+    st.integers(0, 2**32),
+)
+def test_check_counts_are_consistent(pids, now, timeout, seed):
+    rng = random.Random(seed)
+    table = SuperTopicTable(z=len(pids))
+    table.adopt(
+        T1, [ProcessDescriptor(p, T1) for p in pids], rng, own_topic=T2
+    )
+    for pid in pids[::2]:
+        table.record_proof_of_life(pid, now)
+    alive = table.alive_pids(now, timeout)
+    stale = table.stale_pids(now, timeout)
+    assert table.check(now, timeout) == len(alive)
+    assert sorted(alive + stale) == sorted(table.pids)

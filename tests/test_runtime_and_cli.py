@@ -1,0 +1,106 @@
+"""Tests for the SimulationHarness bundle and the CLI entry points."""
+
+import pytest
+
+from repro.cli import main
+from repro.runtime import SimulationHarness
+
+
+class TestHarness:
+    def test_pid_allocation_sequential(self):
+        harness = SimulationHarness(seed=0)
+        assert [harness.next_pid() for _ in range(3)] == [0, 1, 2]
+
+    def test_run_and_now(self):
+        harness = SimulationHarness(seed=0)
+        harness.engine.schedule(5.0, lambda: None)
+        harness.run_until_idle()
+        assert harness.now == 5.0
+
+    def test_is_alive_default(self):
+        harness = SimulationHarness(seed=0)
+        assert harness.is_alive(0)
+
+    def test_same_seed_same_network_randomness(self):
+        a = SimulationHarness(seed=5).rngs.stream("network").random()
+        b = SimulationHarness(seed=5).rngs.stream("network").random()
+        assert a == b
+
+    def test_trace_disabled_by_default(self):
+        harness = SimulationHarness(seed=0)
+        assert not harness.trace.enabled
+        assert SimulationHarness(seed=0, trace=True).trace.enabled
+
+
+class TestCli:
+    def test_analysis_command(self, capsys):
+        assert main(["analysis"]) == 0
+        out = capsys.readouterr().out
+        assert "Message complexity" in out
+        assert "daMulticast" in out
+        assert "hierarchical (c)" in out
+
+    def test_tuning_command(self, capsys):
+        assert main(["tuning", "--c", "1.0", "--pit", "0.999"]) == 0
+        out = capsys.readouterr().out
+        assert "multicast" in out
+        assert "z_bound" in out
+
+    def test_fig9_small(self, capsys):
+        code = main([
+            "fig9",
+            "--runs", "1",
+            "--grid", "1.0",
+            "--sizes", "3", "8", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert "T2->T1" in out
+
+    def test_fig10_small(self, capsys):
+        code = main([
+            "fig10",
+            "--runs", "1",
+            "--grid", "0.5", "1.0",
+            "--sizes", "3", "8", "20",
+        ])
+        assert code == 0
+        assert "recv_T2" in capsys.readouterr().out
+
+    def test_compare_small(self, capsys):
+        code = main(["compare", "--runs", "1", "--sizes", "3", "8", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "broadcast (a)" in out
+        assert "parasites" in out
+
+    def test_ablate_g_small(self, capsys):
+        code = main(["ablate-g", "--runs", "1", "--values", "1", "5"])
+        assert code == 0
+        assert "recv_root" in capsys.readouterr().out
+
+    def test_scale_s_small(self, capsys):
+        code = main(["scale-s", "--runs", "1", "--values", "30", "60"])
+        assert code == 0
+        assert "normalized" in capsys.readouterr().out
+
+    def test_scale_t_small(self, capsys):
+        code = main(
+            ["scale-t", "--runs", "1", "--values", "1", "2", "--level-size", "20"]
+        )
+        assert code == 0
+        assert "per_level" in capsys.readouterr().out
+
+    def test_stream_small(self, capsys):
+        code = main(["stream", "--runs", "1", "--rates", "0.1"])
+        assert code == 0
+        assert "messages_per_event" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

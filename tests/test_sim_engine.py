@@ -1,0 +1,191 @@
+"""Unit tests for the discrete-event engine and periodic tasks."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_fifo(self):
+        engine = Engine()
+        order = []
+        for label in "abc":
+            engine.schedule(1.0, lambda label=label: order.append(label))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        times = []
+        engine.schedule(2.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [2.5]
+        assert engine.now == 2.5
+
+    def test_zero_delay_runs_after_current_event(self):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(0.0, lambda: order.append("nested"))
+
+        engine.schedule(1.0, first)
+        engine.schedule(1.0, lambda: order.append("second"))
+        engine.run()
+        # nested was scheduled during 'first' so it runs after 'second'
+        # (FIFO among same-time events).
+        assert order == ["first", "second", "nested"]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SchedulingError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+        assert not handle.fired
+
+    def test_handle_flags(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.pending
+        engine.run()
+        assert handle.fired
+        assert not handle.pending
+
+
+class TestRun:
+    def test_run_until_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        executed = engine.run(until=5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert engine.now == 5.0
+        # The later event still fires on the next run.
+        engine.run()
+        assert fired == [1, 2]
+
+    def test_run_until_advances_clock_when_queue_empties(self):
+        engine = Engine()
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_max_events_guard_raises_on_livelock(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule(1.0, rearm)
+
+        engine.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_max_events_with_until_stops_quietly(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule(1.0, rearm)
+
+        engine.schedule(1.0, rearm)
+        executed = engine.run(until=1000.0, max_events=10)
+        assert executed == 10
+
+    def test_run_not_reentrant(self):
+        engine = Engine()
+        errors = []
+
+        def inner():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        engine.schedule(1.0, inner)
+        engine.run()
+        assert len(errors) == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.processed == 5
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        engine = Engine()
+        ticks = []
+        engine.every(1.0, lambda: ticks.append(engine.now), initial_delay=1.0)
+        engine.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop(self):
+        engine = Engine()
+        ticks = []
+        task = engine.every(1.0, lambda: ticks.append(1), initial_delay=1.0)
+        engine.schedule(2.5, task.stop)
+        engine.run(until=10.0)
+        assert len(ticks) == 2
+        assert not task.running
+
+    def test_callback_false_stops(self):
+        engine = Engine()
+        ticks = []
+
+        def tick():
+            ticks.append(1)
+            return len(ticks) < 3
+
+        engine.every(1.0, tick)
+        engine.run(until=100.0)
+        assert len(ticks) == 3
+
+    def test_max_firings(self):
+        engine = Engine()
+        ticks = []
+        task = engine.every(1.0, lambda: ticks.append(1), max_firings=4)
+        engine.run(until=100.0)
+        assert len(ticks) == 4
+        assert task.firings == 4
+
+    def test_invalid_interval(self):
+        with pytest.raises(SchedulingError):
+            Engine().every(0.0, lambda: None)
+
+    def test_initial_delay_zero_not_allowed_to_loop(self):
+        engine = Engine()
+        ticks = []
+        engine.every(2.0, lambda: ticks.append(engine.now), initial_delay=0.5)
+        engine.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]

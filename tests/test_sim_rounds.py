@@ -1,0 +1,94 @@
+"""Unit tests for the synchronous round scheduler."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import Engine
+from repro.sim.rounds import RoundScheduler
+
+
+class TestRounds:
+    def test_callbacks_fire_per_round(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine)
+        seen = []
+        scheduler.on_round(seen.append)
+        scheduler.run_rounds(4)
+        assert seen == [1, 2, 3, 4]
+        assert scheduler.current_round == 4
+
+    def test_run_rounds_is_incremental(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine)
+        scheduler.run_rounds(2)
+        scheduler.run_rounds(3)
+        assert scheduler.current_round == 5
+
+    def test_round_length_scales_time(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine, round_length=2.0)
+        scheduler.run_rounds(3)
+        assert engine.now == pytest.approx(7.0)  # (3 + 0.5) * 2
+
+    def test_max_rounds_stops(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine, max_rounds=3)
+        seen = []
+        scheduler.on_round(seen.append)
+        scheduler.start()
+        engine.run(until=100.0)
+        assert seen == [1, 2, 3]
+
+    def test_stop_halts(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine)
+        seen = []
+        scheduler.on_round(seen.append)
+        scheduler.run_rounds(2)
+        scheduler.stop()
+        engine.run(until=20.0)
+        assert seen == [1, 2]
+
+    def test_events_within_round_drain_before_next(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine)
+        order = []
+
+        def work(round_number):
+            order.append(("round", round_number))
+            # Zero-latency "message" scheduled within the round.
+            engine.schedule(0.0, lambda: order.append(("msg", round_number)))
+
+        scheduler.on_round(work)
+        scheduler.run_rounds(2)
+        assert order == [
+            ("round", 1), ("msg", 1), ("round", 2), ("msg", 2),
+        ]
+
+    def test_multiple_callbacks_in_registration_order(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine)
+        order = []
+        scheduler.on_round(lambda r: order.append("a"))
+        scheduler.on_round(lambda r: order.append("b"))
+        scheduler.run_rounds(1)
+        assert order == ["a", "b"]
+
+    def test_start_idempotent(self):
+        engine = Engine()
+        scheduler = RoundScheduler(engine)
+        seen = []
+        scheduler.on_round(seen.append)
+        scheduler.start()
+        scheduler.start()
+        engine.run(until=2.5)
+        assert seen == [1, 2]
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(ConfigError):
+            RoundScheduler(engine, round_length=0)
+        with pytest.raises(ConfigError):
+            RoundScheduler(engine, max_rounds=0)
+        with pytest.raises(ConfigError):
+            RoundScheduler(engine).run_rounds(-1)

@@ -1,0 +1,73 @@
+"""Unit tests for the structured trace log."""
+
+from repro.sim import TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_len(self):
+        log = TraceLog()
+        log.record(0.0, "net.sent", 1, 2, message_kind="event")
+        log.record(1.0, "net.delivered", 1, 2, message_kind="event")
+        assert len(log) == 2
+
+    def test_disabled_log_is_noop(self):
+        log = TraceLog(enabled=False)
+        log.record(0.0, "net.sent")
+        assert len(log) == 0
+
+    def test_filter_exact_kind(self):
+        log = TraceLog()
+        log.record(0.0, "net.sent")
+        log.record(0.0, "net.delivered")
+        assert len(log.filter("net.sent")) == 1
+
+    def test_filter_prefix_kind(self):
+        log = TraceLog()
+        log.record(0.0, "net.sent")
+        log.record(0.0, "net.delivered")
+        log.record(0.0, "app.delivered")
+        assert len(log.filter("net")) == 2
+
+    def test_prefix_requires_dot_boundary(self):
+        log = TraceLog()
+        log.record(0.0, "network_other")
+        assert log.filter("net") == []
+
+    def test_filter_predicate(self):
+        log = TraceLog()
+        log.record(0.0, "net.sent", source=1)
+        log.record(0.0, "net.sent", source=2)
+        only_two = log.filter("net.sent", lambda r: r.source == 2)
+        assert len(only_two) == 1
+        assert only_two[0].source == 2
+
+    def test_count(self):
+        log = TraceLog()
+        for _ in range(5):
+            log.record(0.0, "x")
+        assert log.count("x") == 5
+        assert log.count("y") == 0
+
+    def test_kinds_histogram(self):
+        log = TraceLog()
+        log.record(0.0, "a")
+        log.record(0.0, "a")
+        log.record(0.0, "b")
+        assert log.kinds() == {"a": 2, "b": 1}
+
+    def test_detail_payload(self):
+        log = TraceLog()
+        log.record(0.0, "net.dropped", 1, 2, reason="loss")
+        assert log.records[0].detail["reason"] == "loss"
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(0.0, "a")
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration(self):
+        log = TraceLog()
+        log.record(0.0, "a")
+        log.record(1.0, "b")
+        assert [r.kind for r in log] == ["a", "b"]
