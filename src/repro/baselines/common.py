@@ -118,12 +118,14 @@ class BaselineProcess:
         if state is None:
             return  # not a member (stale table entry pointed at us)
         targets = state.view.sample(state.fanout, self.rng, exclude=(self.pid,))
-        scope = Scope("intra", group)
-        for descriptor in targets:
-            self.send(
-                descriptor.pid,
-                EventMessage(sender=self.pid, event=event, scope=scope),
-            )
+        if not targets:
+            return
+        self.multicast(
+            [descriptor.pid for descriptor in targets],
+            EventMessage(
+                sender=self.pid, event=event, scope=Scope("intra", group)
+            ),
+        )
 
     def _deliver(self, event: Event) -> None:
         self.delivered.append(event)
@@ -134,6 +136,10 @@ class BaselineProcess:
     def send(self, target: int, message: Message) -> None:
         """Send via the shared unreliable network."""
         self._harness.network.send(self.pid, target, message)
+
+    def multicast(self, targets: list[int], message: Message) -> None:
+        """Send one message to many targets via the batched fast path."""
+        self._harness.network.multicast(self.pid, targets, message)
 
     def make_event(self, topic: Topic, payload: Any) -> Event:
         """Mint a new event from this process."""

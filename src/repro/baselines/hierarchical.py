@@ -20,6 +20,7 @@ parasite deliveries remain maximal.
 from __future__ import annotations
 
 import math
+from itertools import groupby
 from typing import Any
 
 from repro.baselines.common import BaselineProcess, BaselineSystem
@@ -58,11 +59,16 @@ class HierarchicalProcess(BaselineProcess):
             return
         targets = state.view.sample(state.fanout, self.rng, exclude=(self.pid,))
         assert self.cluster is not None
-        for descriptor in targets:
-            scope = Scope("inter", self.cluster, descriptor.topic)
-            self.send(
-                descriptor.pid,
-                EventMessage(sender=self.pid, event=event, scope=scope),
+        # One batched multicast per destination cluster (consecutive runs
+        # preserve the sampled target order, and with it the RNG draws).
+        for destination, run in groupby(targets, key=lambda d: d.topic):
+            self.multicast(
+                [descriptor.pid for descriptor in run],
+                EventMessage(
+                    sender=self.pid,
+                    event=event,
+                    scope=Scope("inter", self.cluster, destination),
+                ),
             )
 
 

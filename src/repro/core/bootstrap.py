@@ -118,8 +118,9 @@ class FindSuperContact:
             request_id=next(self._request_ids),
             ttl=self._ttl,
         )
-        for contact in process.neighborhood():
-            process.send(contact.pid, request)
+        process.multicast(
+            [contact.pid for contact in process.neighborhood()], request
+        )
 
     # ------------------------------------------------------------------
     # Answer processing (Fig. 4 lines 29-37)
@@ -195,9 +196,15 @@ def handle_req_contact(
             request_id=message.request_id,
             ttl=message.ttl - 1,
         )
-        for contact in process.neighborhood():
-            if contact.pid != message.sender and contact.pid != message.requester:
-                process.send(contact.pid, forwarded)
+        process.multicast(
+            [
+                contact.pid
+                for contact in process.neighborhood()
+                if contact.pid != message.sender
+                and contact.pid != message.requester
+            ],
+            forwarded,
+        )
 
 
 def known_contacts_for(

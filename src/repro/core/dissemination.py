@@ -25,7 +25,8 @@ The functions here are pure protocol logic over a narrow
 from __future__ import annotations
 
 import random
-from typing import Protocol
+from itertools import groupby
+from typing import Protocol, Sequence
 
 from repro.core.events import Event
 from repro.core.params import TopicParams
@@ -57,6 +58,10 @@ class DisseminationPeer(Protocol):
 
     def send(self, target: int, message: Message) -> None: ...  # pragma: no cover
 
+    def multicast(
+        self, targets: Sequence[int], message: Message
+    ) -> None: ...  # pragma: no cover
+
 
 def disseminate(
     peer: DisseminationPeer,
@@ -72,6 +77,11 @@ def disseminate(
     transmission count at which ``peer`` obtained the event (0 for the
     publisher); forwarded copies carry ``arrival_hops + 1``. Returns
     ``(intra_sent, inter_sent)`` message counts for diagnostics.
+
+    Both fan-outs are issued as batched multicasts: targets are elected
+    first (same per-target RNG draws, in table order, as the historical
+    one-send-per-target loop) and each scope's target list then goes out
+    as one :meth:`DisseminationPeer.multicast` call sharing one message.
     """
     params = peer.params
     inter_sent = 0
@@ -82,29 +92,38 @@ def disseminate(
     if not super_table.is_empty:
         elected = force_link or peer.rng.random() < params.p_sel(peer.group_size)
         if elected:
-            for descriptor in super_table.descriptors():
-                if peer.rng.random() < params.p_a:
-                    scope = Scope("inter", peer.topic, descriptor.topic)
-                    peer.send(
-                        descriptor.pid,
-                        EventMessage(
-                            sender=peer.pid,
-                            event=event,
-                            scope=scope,
-                            hops=next_hops,
-                        ),
-                    )
-                    inter_sent += 1
+            random_draw = peer.rng.random
+            p_a = params.p_a
+            chosen = [
+                d for d in super_table.descriptors() if random_draw() < p_a
+            ]
+            # All entries normally share the table's target topic; group
+            # consecutive runs so mid-retarget mixtures still get one
+            # message (and one Figs. 9 accounting scope) per supertopic.
+            for super_topic, run in groupby(chosen, key=lambda d: d.topic):
+                batch = [d.pid for d in run]
+                peer.multicast(
+                    batch,
+                    EventMessage(
+                        sender=peer.pid,
+                        event=event,
+                        scope=Scope("inter", peer.topic, super_topic),
+                        hops=next_hops,
+                    ),
+                )
+                inter_sent += len(batch)
 
     # (2) Gossip inside our own group (Fig. 7 lines 8-14).
     fanout = params.fanout(peer.group_size)
     targets = peer.topic_table().sample(fanout, peer.rng, exclude=(peer.pid,))
-    scope = Scope("intra", peer.topic)
-    for descriptor in targets:
-        peer.send(
-            descriptor.pid,
+    if targets:
+        peer.multicast(
+            [d.pid for d in targets],
             EventMessage(
-                sender=peer.pid, event=event, scope=scope, hops=next_hops
+                sender=peer.pid,
+                event=event,
+                scope=Scope("intra", peer.topic),
+                hops=next_hops,
             ),
         )
     return len(targets), inter_sent

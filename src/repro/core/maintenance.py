@@ -82,12 +82,14 @@ class KeepTableUpdated:
             self._probe()
 
     def _probe(self) -> None:
-        """Ping every supertopic entry, then evaluate after the timeout."""
+        """Ping every supertopic entry (one batched multicast), then
+        evaluate after the timeout."""
         process = self._process
         self.probes_started += 1
         nonce = next(self._nonces)
-        for pid in process.super_table.pids:
-            process.send(pid, Ping(sender=process.pid, nonce=nonce))
+        process.multicast(
+            process.super_table.pids, Ping(sender=process.pid, nonce=nonce)
+        )
         process.engine.schedule(self._ping_timeout, self._evaluate)
 
     def _evaluate(self) -> None:
@@ -105,10 +107,9 @@ class KeepTableUpdated:
             return
         wanted = max(1, process.params.z - alive)
         self.refreshes_requested += 1
-        for pid in live_pids:
-            process.send(
-                pid, NewProcessRequest(sender=process.pid, wanted=wanted)
-            )
+        process.multicast(
+            live_pids, NewProcessRequest(sender=process.pid, wanted=wanted)
+        )
 
     # ------------------------------------------------------------------
     # Message handlers (wired by the process)

@@ -21,6 +21,7 @@ tables are drawn from global knowledge by
 
 from __future__ import annotations
 
+from itertools import groupby
 from typing import Any
 
 from repro.core.events import Event, EventFactory, EventId
@@ -107,7 +108,8 @@ class MultiParentProcess:
 
     def _disseminate(self, event: Event, force_link: bool = False) -> None:
         params = self._params
-        # (1) hand the event to EVERY supergroup, one election per table.
+        # (1) hand the event to EVERY supergroup, one election per table;
+        # each table's elected contacts go out as one batched multicast.
         for super_topic, table in self.super_tables.items():
             if table.is_empty:
                 continue
@@ -117,23 +119,33 @@ class MultiParentProcess:
             )
             if not elected:
                 continue
-            for descriptor in table.descriptors():
-                if self.rng.random() < params.p_a:
-                    scope = Scope("inter", self.topic, descriptor.topic)
-                    self._send(
-                        descriptor.pid,
-                        EventMessage(
-                            sender=self.pid, event=event, scope=scope
-                        ),
-                    )
+            for scope_topic, run in groupby(
+                (
+                    d
+                    for d in table.descriptors()
+                    if self.rng.random() < params.p_a
+                ),
+                key=lambda d: d.topic,
+            ):
+                self._multicast(
+                    [descriptor.pid for descriptor in run],
+                    EventMessage(
+                        sender=self.pid,
+                        event=event,
+                        scope=Scope("inter", self.topic, scope_topic),
+                    ),
+                )
         # (2) gossip inside our own group.
         fanout = params.fanout(self.group_size)
         targets = self.topic_view.sample(fanout, self.rng, exclude=(self.pid,))
-        scope = Scope("intra", self.topic)
-        for descriptor in targets:
-            self._send(
-                descriptor.pid,
-                EventMessage(sender=self.pid, event=event, scope=scope),
+        if targets:
+            self._multicast(
+                [descriptor.pid for descriptor in targets],
+                EventMessage(
+                    sender=self.pid,
+                    event=event,
+                    scope=Scope("intra", self.topic),
+                ),
             )
 
     def _deliver(self, event: Event) -> None:
@@ -149,6 +161,9 @@ class MultiParentProcess:
 
     def _send(self, target: int, message: Message) -> None:
         self._harness.network.send(self.pid, target, message)
+
+    def _multicast(self, targets: list[int], message: Message) -> None:
+        self._harness.network.multicast(self.pid, targets, message)
 
     @property
     def memory_footprint(self) -> int:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.core.bootstrap import FindSuperContact, handle_req_contact
 from repro.core.dissemination import disseminate, should_deliver
@@ -104,6 +104,7 @@ class DaMulticastProcess:
                 engine,
                 rng,
                 self.send,
+                multicast=self.multicast,
                 super_sample_provider=self._piggyback_super_sample,
                 super_sample_consumer=self._merge_piggybacked_super,
             )
@@ -262,6 +263,10 @@ class DaMulticastProcess:
     def send(self, target: int, message: Message) -> None:
         """Send via the (unreliable) network."""
         self.network.send(self.pid, target, message)
+
+    def multicast(self, targets: Sequence[int], message: Message) -> None:
+        """Send one message to many targets via the batched fast path."""
+        self.network.multicast(self.pid, targets, message)
 
     # ------------------------------------------------------------------
     # Event reception (Fig. 5 lines 5-10)

@@ -40,6 +40,7 @@ from repro.sim.engine import Engine, PeriodicTask
 from repro.topics.topic import Topic
 
 SendFn = Callable[[int, Message], None]
+MulticastFn = Callable[[list[int], Message], None]
 SuperSampleFn = Callable[[], tuple[ProcessDescriptor, ...]]
 SuperMergeFn = Callable[[tuple[ProcessDescriptor, ...]], None]
 
@@ -109,6 +110,7 @@ class FlatMembership:
         rng: random.Random,
         send: SendFn,
         *,
+        multicast: MulticastFn | None = None,
         super_sample_provider: SuperSampleFn | None = None,
         super_sample_consumer: SuperMergeFn | None = None,
     ):
@@ -118,6 +120,13 @@ class FlatMembership:
         self._engine = engine
         self._rng = rng
         self._send = send
+        # Batched fan-out when the owner provides one (the network fast
+        # path); otherwise fall back to one send per target.
+        if multicast is None:
+            def multicast(targets: list[int], message: Message) -> None:
+                for target in targets:
+                    send(target, message)
+        self._multicast = multicast
         self._super_sample_provider = super_sample_provider
         self._super_sample_consumer = super_sample_consumer
         self.view = PartialView(config.capacity)
@@ -231,9 +240,9 @@ class FlatMembership:
                 self._rng,
                 exclude=(self.owner.pid, joiner.pid, message.sender),
             )
-            for target in targets:
-                self._send(
-                    target.pid,
+            if targets:
+                self._multicast(
+                    [target.pid for target in targets],
                     JoinRequest(
                         sender=self.owner.pid, joiner=joiner, ttl=message.ttl - 1
                     ),

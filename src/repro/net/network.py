@@ -1,7 +1,11 @@
 """The unreliable best-effort network connecting simulated processes.
 
-Every transmission runs the following pipeline (each stage may drop the
-message, and every outcome is counted in :class:`~repro.net.stats.NetworkStats`):
+Transport pipeline
+------------------
+
+Every transmission runs the following six-stage pipeline (each stage may
+drop the message, and every outcome is counted in
+:class:`~repro.net.stats.NetworkStats`):
 
 1. the send attempt is recorded (this is what the paper's message-complexity
    figures count — a lost message still costs its transmission);
@@ -14,6 +18,40 @@ message, and every outcome is counted in :class:`~repro.net.stats.NetworkStats`)
 6. a latency is sampled and delivery is scheduled; if the target is dead
    *at delivery time* the message is dropped (stillborn targets, churn).
 
+Batched fast path
+-----------------
+
+Every gossip step of the protocols is a *fan-out* — Fig. 7's DISSEMINATE
+alone sends to ``log(S)+c`` topic-table members plus up to ``z`` supergroup
+contacts — so :meth:`Network.multicast` runs the same six stages as one
+vectorized pass over a target list:
+
+* the sender-side stages (2–5) execute per target *in target order*, with
+  exactly the RNG draws :meth:`Network.send` would make, so a multicast is
+  bit-identical to the equivalent loop of sends under the same seed;
+* statistics are recorded in bulk (``record_sent_many`` /
+  ``record_dropped_many`` / ``record_delivered_many``), once per outcome
+  class instead of once per destination;
+* surviving deliveries that share a latency share **one** engine entry —
+  a single vectorized delivery thunk per latency class instead of one
+  closure and one heap push per destination; with zero latency (the
+  paper's synchronous rounds, the dominant case) an entire fan-out is one
+  entry in the engine's FIFO bucket. Note the accounting consequence:
+  ``Engine.processed``/``pending`` count that thunk as *one* callback,
+  where a loop of sends counted one per destination (callers needing
+  per-callback granularity can use
+  :meth:`repro.sim.engine.Engine.schedule_batch` instead);
+* stage-known no-op models (``AlwaysAlive``, ``FullyConnected``, constant
+  latency) are detected once per multicast and skipped per target — they
+  consume no randomness, so skipping them cannot change a trajectory.
+
+Ordering caveats (documented, not observable by well-behaved actors): the
+trace log groups a multicast's ``net.sent`` records before its drop
+records, and batched deliveries evaluate target liveness at the shared
+delivery timestamp — identical outcomes unless an actor's
+``handle_message`` changes ground-truth liveness of a co-delivered target
+at that same instant, which no in-repo model does.
+
 Actors are any objects with a ``pid`` attribute and a
 ``handle_message(message)`` method.
 """
@@ -21,11 +59,11 @@ Actors are any objects with a ``pid`` attribute and a
 from __future__ import annotations
 
 import random
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, runtime_checkable
 
 from repro.errors import ConfigError, UnknownActor
 from repro.failures.model import AlwaysAlive, FailureModel
-from repro.net.latency import LatencyModel, ZERO_LATENCY
+from repro.net.latency import ConstantLatency, LatencyModel, ZERO_LATENCY
 from repro.net.message import Message
 from repro.net.partitions import FullyConnected, PartitionModel
 from repro.net.stats import (
@@ -150,6 +188,104 @@ class Network:
         self._engine.schedule(delay, lambda: self._deliver(sender, target, message))
         return True
 
+    def multicast(
+        self, sender: int, targets: Iterable[int], message: Message
+    ) -> int:
+        """Transmit one ``message`` to every pid in ``targets`` (the batched
+        fast path — see the module docstring).
+
+        Semantically identical to ``for t in targets: send(sender, t,
+        message)`` under the same seed: per-target RNG draws happen in
+        target order, every attempt is individually counted and the same
+        drop reasons apply. Returns how many deliveries were scheduled
+        (diagnostics only — protocols must not branch on it).
+        """
+        targets = list(targets)
+        if not targets:
+            return 0
+        actors = self._actors
+        for target in targets:
+            if target not in actors:
+                raise UnknownActor(f"no actor registered with pid {target}")
+        engine = self._engine
+        now = engine.now
+        stats = self.stats
+        trace = self.trace
+        tracing = trace.enabled
+        count = len(targets)
+        stats.record_sent_many(message, count)
+        kind = message.kind
+        if tracing:
+            for target in targets:
+                trace.record(now, "net.sent", sender, target, message_kind=kind)
+
+        failure_model = self.failure_model
+        if not failure_model.is_alive(sender, now):
+            stats.record_dropped_many(message, DROP_DEAD_SENDER, count)
+            if tracing:
+                for target in targets:
+                    trace.record(
+                        now, "net.dropped", sender, target,
+                        message_kind=kind, reason=DROP_DEAD_SENDER,
+                    )
+            return 0
+
+        # Vectorized sender-side pass. The no-op built-ins are skipped per
+        # target (they draw no randomness, so the trajectory is unchanged);
+        # any other model is consulted per target exactly like send().
+        rng = self._rng
+        random_draw = rng.random
+        p_success = self.p_success
+        check_perceived = type(failure_model) is not AlwaysAlive
+        partition_model = self.partition_model
+        check_partition = type(partition_model) is not FullyConnected
+        latency = self.latency
+        fixed_delay = latency.delay if type(latency) is ConstantLatency else None
+
+        drop_counts: dict[str, int] = {}
+        batches: dict[float, list[int]] = {}
+        for target in targets:
+            if check_perceived and failure_model.transmission_blocked(
+                sender, target, now, rng
+            ):
+                reason = DROP_PERCEIVED_FAILED
+            elif check_partition and not partition_model.connected(
+                sender, target, now
+            ):
+                reason = DROP_PARTITIONED
+            elif random_draw() >= p_success:
+                reason = DROP_CHANNEL_LOSS
+            else:
+                delay = (
+                    fixed_delay if fixed_delay is not None else latency.sample(rng)
+                )
+                batch = batches.get(delay)
+                if batch is None:
+                    batches[delay] = [target]
+                else:
+                    batch.append(target)
+                continue
+            drop_counts[reason] = drop_counts.get(reason, 0) + 1
+            if tracing:
+                trace.record(
+                    now, "net.dropped", sender, target,
+                    message_kind=kind, reason=reason,
+                )
+        for reason, dropped in drop_counts.items():
+            stats.record_dropped_many(message, reason, dropped)
+
+        # Each latency class becomes one engine entry: one thunk delivering
+        # to every same-delay survivor (with zero latency — the dominant
+        # case — the whole fan-out lands in the engine's FIFO bucket).
+        scheduled = 0
+        deliver_batch = self._deliver_batch
+        for delay, batch in batches.items():
+            scheduled += len(batch)
+            engine.schedule(
+                delay, _bind_delivery(deliver_batch, sender, tuple(batch), message)
+            )
+        return scheduled
+
     def _deliver(self, sender: int, target: int, message: Message) -> None:
         now = self._engine.now
         if not self.failure_model.is_alive(target, now):
@@ -158,6 +294,47 @@ class Network:
         self.stats.record_delivered(message)
         self.trace.record(now, "net.delivered", sender, target, message_kind=message.kind)
         self._actors[target].handle_message(message)
+
+    def _deliver_batch(
+        self, sender: int, targets: tuple[int, ...], message: Message
+    ) -> None:
+        """Deliver one message to every surviving target of a batch.
+
+        Target liveness is evaluated for the whole batch at the shared
+        delivery timestamp, then live targets receive the message in
+        order; statistics are recorded in bulk.
+        """
+        now = self._engine.now
+        failure_model = self.failure_model
+        stats = self.stats
+        trace = self.trace
+        tracing = trace.enabled
+        kind = message.kind
+        if type(failure_model) is AlwaysAlive:
+            alive = targets
+        else:
+            alive = []
+            dead = 0
+            for target in targets:
+                if failure_model.is_alive(target, now):
+                    alive.append(target)
+                else:
+                    dead += 1
+                    if tracing:
+                        trace.record(
+                            now, "net.dropped", sender, target,
+                            message_kind=kind, reason=DROP_DEAD_TARGET,
+                        )
+            stats.record_dropped_many(message, DROP_DEAD_TARGET, dead)
+        stats.record_delivered_many(message, len(alive))
+        actors = self._actors
+        if tracing:
+            for target in alive:
+                trace.record(
+                    now, "net.delivered", sender, target, message_kind=kind
+                )
+        for target in alive:
+            actors[target].handle_message(message)
 
     def _drop(self, message: Message, sender: int, target: int, reason: str) -> None:
         self.stats.record_dropped(message, reason)
@@ -171,3 +348,8 @@ class Network:
             f"Network({len(self._actors)} actors, p_success={self.p_success}, "
             f"{self.failure_model!r})"
         )
+
+
+def _bind_delivery(deliver_batch, sender, targets, message):
+    """One zero-argument delivery thunk for a whole same-latency batch."""
+    return lambda: deliver_batch(sender, targets, message)

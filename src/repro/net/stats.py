@@ -71,6 +71,48 @@ class NetworkStats:
         self.dropped_by_kind[message.kind] += 1
 
     # ------------------------------------------------------------------
+    # Bulk recording (the multicast fast path — one call per fan-out)
+    # ------------------------------------------------------------------
+    def record_sent_many(self, message: Message, count: int) -> None:
+        """Count ``count`` send attempts of one message in a single pass.
+
+        Equivalent to ``count`` calls to :meth:`record_sent` (a multicast
+        pays one transmission per destination in the paper's accounting),
+        but classifies the message once instead of per destination.
+        """
+        if count <= 0:
+            return
+        self.sent_by_kind[message.kind] += count
+        if isinstance(message, EventMessage):
+            self.events_sent_by_sender[message.sender] += count
+            scope = message.scope
+            if scope.kind == "intra":
+                self.intra_group_sent[scope.group] += count
+            else:
+                self.inter_group_sent[(scope.group, scope.super_group)] += count
+
+    def record_delivered_many(self, message: Message, count: int) -> None:
+        """Count ``count`` deliveries of one message in a single pass."""
+        if count <= 0:
+            return
+        self.delivered_by_kind[message.kind] += count
+        if isinstance(message, EventMessage):
+            scope = message.scope
+            if scope.kind == "intra":
+                self.intra_group_delivered[scope.group] += count
+            else:
+                self.inter_group_delivered[
+                    (scope.group, scope.super_group)
+                ] += count
+
+    def record_dropped_many(self, message: Message, reason: str, count: int) -> None:
+        """Count ``count`` same-reason drops of one message in a single pass."""
+        if count <= 0:
+            return
+        self.dropped_by_reason[reason] += count
+        self.dropped_by_kind[message.kind] += count
+
+    # ------------------------------------------------------------------
     # Queries (used by metrics/experiments)
     # ------------------------------------------------------------------
     @property

@@ -7,30 +7,72 @@ FIND_SUPER_CONTACT timers) are built on top via :class:`PeriodicTask`.
 
 Time is a unitless float; the paper's synchronous gossip rounds map to
 events at integer times with zero-latency message delivery in between.
+
+Two fast paths keep large fan-outs cheap:
+
+* **Zero-latency FIFO bucket** — an event scheduled at exactly the current
+  time goes into a plain deque instead of the heap. Because simulation time
+  only advances once every same-time event has run, the bucket drains
+  before any later heap entry fires, so FIFO tie-breaking is preserved
+  while the dominant zero-latency case (the paper's synchronous rounds)
+  skips the ``O(log n)`` heap entirely.
+* **Batched events** — :meth:`Engine.schedule_batch` stores many callbacks
+  behind a single queue entry, so N same-timestamp events cost one
+  scheduling operation instead of N while keeping per-event accounting.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable
+from collections import deque
+from typing import Any, Callable, Iterable
 
 from repro.errors import SchedulingError, SimulationError
 
 
 class EventHandle:
-    """Handle to a scheduled callback, allowing cancellation."""
+    """Handle to a scheduled callback (or callback batch), allowing
+    cancellation.
 
-    __slots__ = ("time", "_cancelled", "_fired")
+    The callback reference lives on the handle, not in the queue entry, so
+    :meth:`cancel` can release the closure (and everything it captures)
+    immediately instead of pinning it until the queue entry is popped.
+    """
 
-    def __init__(self, time: float):
+    __slots__ = ("time", "_seq", "_count", "_cancelled", "_fired", "_callback", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Any,
+        engine: "Engine | None" = None,
+        count: int = 1,
+    ):
         self.time = time
+        self._seq = seq
+        self._count = count
+        self._callback = callback
+        self._engine = engine
         self._cancelled = False
         self._fired = False
 
     def cancel(self) -> None:
-        """Prevent the callback from running (no-op if it already ran)."""
+        """Prevent the callback(s) from running (no-op if already fired).
+
+        Cancelling releases the callback reference immediately and
+        decrements the engine's live-event count; the dead queue entry is
+        discarded lazily when it reaches the front.
+        """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        self._callback = None  # release the closure(s) right away
+        engine = self._engine
+        if engine is not None:
+            engine._live -= self._count
+            self._engine = None
 
     @property
     def cancelled(self) -> bool:
@@ -113,15 +155,21 @@ class Engine:
     >>> _ = engine.schedule(2.0, lambda: seen.append(engine.now))
     >>> _ = engine.schedule(1.0, lambda: seen.append(engine.now))
     >>> engine.run()
+    2
     >>> seen
     [1.0, 2.0]
     """
 
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, EventHandle, Callable[[], Any]]] = []
+        #: future events: (time, seq, handle) — the callback lives on the handle
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        #: events at exactly the current time, FIFO (seq still assigned so
+        #: ordering against same-time heap entries stays exact)
+        self._bucket: deque[EventHandle] = deque()
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._live = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -134,8 +182,12 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of callbacks still scheduled to run.
+
+        Exact: cancelled events are subtracted the moment they are
+        cancelled, and each callback of a batch counts individually.
+        """
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -157,8 +209,52 @@ class Engine:
             raise SchedulingError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        handle = EventHandle(time)
-        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback))
+        handle = EventHandle(time, next(self._sequence), callback, self)
+        self._live += 1
+        if time == self._now:
+            self._bucket.append(handle)
+        else:
+            heapq.heappush(self._queue, (time, handle._seq, handle))
+        return handle
+
+    def schedule_batch(
+        self, delay: float, callbacks: Iterable[Callable[[], Any]]
+    ) -> EventHandle:
+        """Run every callback of ``callbacks`` after ``delay``, in order,
+        behind a *single* queue entry.
+
+        The batch fires atomically at one timestamp: its callbacks run
+        FIFO, back to back, exactly where one event with the batch's
+        scheduling order would have run. Cancelling the returned handle
+        cancels the whole batch (individual members cannot be cancelled).
+        Each callback counts separately in :attr:`pending` and
+        :attr:`processed`: N same-timestamp events cost one heap/bucket
+        entry without losing per-event accounting (used by
+        :func:`repro.workloads.publications.replay_on` for zero-spacing
+        bursts; the network's multicast goes further and folds a whole
+        fan-out into a single vectorized callback).
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_batch_at(self._now + delay, callbacks)
+
+    def schedule_batch_at(
+        self, time: float, callbacks: Iterable[Callable[[], Any]]
+    ) -> EventHandle:
+        """Absolute-time variant of :meth:`schedule_batch` (``time >= now``)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        batch = tuple(callbacks)
+        if not batch:
+            raise SchedulingError("schedule_batch needs at least one callback")
+        handle = EventHandle(time, next(self._sequence), batch, self, count=len(batch))
+        self._live += len(batch)
+        if time == self._now:
+            self._bucket.append(handle)
+        else:
+            heapq.heappush(self._queue, (time, handle._seq, handle))
         return handle
 
     def every(
@@ -181,18 +277,67 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _pop_next(self) -> EventHandle | None:
+        """Remove and return the next live handle (discarding cancelled
+        entries), or None when nothing is left."""
+        bucket = self._bucket
+        queue = self._queue
+        while bucket and bucket[0]._cancelled:
+            bucket.popleft()
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)
+        if bucket:
+            # Bucket entries sit at the current time; a heap entry can only
+            # precede them if it shares that time with a smaller sequence.
+            if queue:
+                time, seq, handle = queue[0]
+                head = bucket[0]
+                if time < head.time or (time == head.time and seq < head._seq):
+                    heapq.heappop(queue)
+                    return handle
+            return bucket.popleft()
+        if queue:
+            return heapq.heappop(queue)[2]
+        return None
+
+    def _peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None when idle."""
+        bucket = self._bucket
+        queue = self._queue
+        while bucket and bucket[0]._cancelled:
+            bucket.popleft()
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)
+        if bucket:
+            head_time = bucket[0].time
+            if queue and queue[0][0] < head_time:
+                return queue[0][0]
+            return head_time
+        if queue:
+            return queue[0][0]
+        return None
+
     def step(self) -> bool:
-        """Execute the single next event. Returns False when queue is empty."""
-        while self._queue:
-            time, _, handle, callback = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self._now = time
-            handle._fired = True
+        """Execute the single next event (a whole batch counts as one
+        step but ``len(batch)`` processed callbacks). Returns False when
+        the queue is empty."""
+        handle = self._pop_next()
+        if handle is None:
+            return False
+        self._now = handle.time
+        handle._fired = True
+        handle._engine = None
+        self._live -= handle._count
+        callback = handle._callback
+        handle._callback = None  # a fired closure is garbage too
+        if type(callback) is tuple:
+            for member in callback:
+                self._processed += 1
+                member()
+        else:
             self._processed += 1
             callback()
-            return True
-        return False
+        return True
 
     def run(
         self,
@@ -206,32 +351,37 @@ class Engine:
         first. Returns the number of callbacks executed by this call.
         ``max_events`` guards against accidental live-lock from
         self-rescheduling tasks: exceeding it with events still pending and
-        no ``until`` horizon raises :class:`SimulationError`.
+        no ``until`` horizon raises :class:`SimulationError`. (A batch runs
+        atomically, so a stop boundary can overshoot by at most one batch.)
         """
         if self._running:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
-        executed = 0
+        start = self._processed
         try:
-            while self._queue:
-                if max_events is not None and executed >= max_events:
+            while True:
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if (
+                    max_events is not None
+                    and self._processed - start >= max_events
+                ):
                     if until is None:
                         raise SimulationError(
                             f"exceeded max_events={max_events} with "
                             f"{self.pending} events still pending"
                         )
                     break
-                next_time = self._queue[0][0]
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                if self.step():
-                    executed += 1
+                self.step()
         finally:
             self._running = False
-        if until is not None and not self._queue and self._now < until:
+        if until is not None and self._peek_time() is None and self._now < until:
             self._now = until
-        return executed
+        return self._processed - start
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Run until no events remain (bounded by ``max_events``)."""

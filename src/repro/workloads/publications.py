@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from itertools import groupby
 from typing import Iterator, Sequence
 
 from repro.errors import ConfigError
@@ -55,13 +56,18 @@ def replay_on(system, publications: Sequence[ScheduledPublication]) -> list:
     executes them — inspect it *after* running the engine.
     """
     published: list = []
-    for publication in publications:
-        system.engine.schedule_at(
-            publication.time,
-            lambda topic=publication.topic: published.append(
-                system.publish(topic)
-            ),
-        )
+
+    def _publisher(topic: Topic):
+        return lambda: published.append(system.publish(topic))
+
+    # Consecutive same-time publications (e.g. a zero-spacing burst) share
+    # one engine entry instead of one closure-per-event in the heap.
+    for time, group in groupby(publications, key=lambda p: p.time):
+        thunks = [_publisher(p.topic) for p in group]
+        if len(thunks) == 1:
+            system.engine.schedule_at(time, thunks[0])
+        else:
+            system.engine.schedule_batch_at(time, thunks)
     return published
 
 

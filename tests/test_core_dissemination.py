@@ -44,6 +44,10 @@ class ScriptedPeer:
     def send(self, target, message):
         self.sent.append((target, message))
 
+    def multicast(self, targets, message):
+        for target in targets:
+            self.sent.append((target, message))
+
 
 def make_event(topic=T2) -> Event:
     return Event(EventId(99, 1), topic, None, 0.0)

@@ -1,0 +1,55 @@
+"""Golden same-seed regression tests for the static-mode simulator.
+
+The constants below were captured from the repository *before* the batched
+multicast transport landed (one ``Network.send``, one closure and one heap
+entry per destination). The batched fast path must reproduce the paper
+scenario's trajectories bit-for-bit: identical per-kind send/delivery
+counters, identical drop reasons, identical delivery fractions per group.
+Any change to RNG draw order anywhere in the transport or dissemination
+stack shows up here immediately.
+"""
+
+import pytest
+
+from repro.workloads import PaperScenario
+
+#: (seed, alive_fraction) -> observable outcome of one §VII publication,
+#: captured at the pre-batching commit.
+GOLDEN = {
+    (7, 1.0): {
+        "sent": {"event": 8733},
+        "delivered": {"event": 7376},
+        "dropped": {"channel_loss": 1357},
+        "fractions": {".": 1.0, ".t1": 0.99, ".t1.t2": 0.998},
+    },
+    (11, 0.7): {
+        "sent": {"event": 6068},
+        "delivered": {"event": 3664},
+        "dropped": {"channel_loss": 863, "dead_target": 1541},
+        "fractions": {".": 0.6, ".t1": 0.71, ".t1.t2": 0.692},
+    },
+    (42, 0.85): {
+        "sent": {"event": 7409},
+        "delivered": {"event": 5323},
+        "dropped": {"channel_loss": 1106, "dead_target": 980},
+        "fractions": {".": 0.8, ".t1": 0.85, ".t1.t2": 0.846},
+    },
+}
+
+
+@pytest.mark.parametrize("seed,alive_fraction", sorted(GOLDEN))
+def test_static_mode_outcomes_unchanged_by_batched_transport(
+    seed, alive_fraction
+):
+    built = PaperScenario().build(seed=seed, alive_fraction=alive_fraction)
+    built.publish_and_run()
+    system = built.system
+    want = GOLDEN[(seed, alive_fraction)]
+    assert dict(system.stats.sent_by_kind) == want["sent"]
+    assert dict(system.stats.delivered_by_kind) == want["delivered"]
+    assert dict(system.stats.dropped_by_reason) == want["dropped"]
+    fractions = {
+        topic.name: round(fraction, 12)
+        for topic, fraction in built.delivered_fractions().items()
+    }
+    assert fractions == want["fractions"]

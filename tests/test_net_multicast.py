@@ -1,0 +1,275 @@
+"""Unit + property tests for the batched multicast transport path.
+
+The central contract: under the same seed, ``Network.multicast(sender,
+targets, message)`` is observably equivalent to ``for t in targets:
+Network.send(sender, t, message)`` — identical delivery sets, drop
+reasons, :class:`NetworkStats` counters, *and* RNG end-state — across
+arbitrary pipelines (loss, perceived failures, partitions, latency).
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import UnknownActor
+from repro.failures import DynamicFailures, StillbornFailures
+from repro.net import ConstantLatency, Network, StaticPartition, UniformLatency
+from repro.net.message import Message, Ping
+from repro.sim import Engine, TraceLog
+
+N_ACTORS = 8
+
+
+class Recorder:
+    """Minimal actor capturing everything delivered to it."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.inbox: list[Message] = []
+
+    def handle_message(self, message: Message) -> None:
+        self.inbox.append(message)
+
+
+class Forwarder(Recorder):
+    """Re-multicasts its first reception — exercises nested fan-outs."""
+
+    def __init__(self, pid: int, network: "Network", fan_to: list[int]):
+        super().__init__(pid)
+        self._network = network
+        self._fan_to = fan_to
+
+    def handle_message(self, message: Message) -> None:
+        first = not self.inbox
+        super().handle_message(message)
+        if first and self._fan_to:
+            self._network.multicast(self.pid, self._fan_to, message)
+
+
+def make_net(n=N_ACTORS, actor_cls=Recorder, **kwargs):
+    engine = Engine()
+    net = Network(engine, random.Random(0), **kwargs)
+    actors = [actor_cls(i) for i in range(n)]
+    for actor in actors:
+        net.register(actor)
+    return engine, net, actors
+
+
+class TestMulticastBasics:
+    def test_delivers_to_every_target(self):
+        engine, net, actors = make_net()
+        scheduled = net.multicast(0, [1, 2, 3], Ping(sender=0, nonce=7))
+        engine.run()
+        assert scheduled == 3
+        for pid in (1, 2, 3):
+            assert len(actors[pid].inbox) == 1
+            assert actors[pid].inbox[0].nonce == 7
+        assert actors[4].inbox == []
+
+    def test_counts_one_send_per_target(self):
+        engine, net, _ = make_net()
+        net.multicast(0, [1, 2, 3, 4], Ping(sender=0, nonce=1))
+        engine.run()
+        assert net.stats.sent_by_kind["ping"] == 4
+        assert net.stats.delivered_by_kind["ping"] == 4
+
+    def test_empty_target_list_is_noop(self):
+        engine, net, _ = make_net()
+        assert net.multicast(0, [], Ping(sender=0, nonce=1)) == 0
+        assert net.stats.total_sent == 0
+        assert engine.pending == 0
+
+    def test_duplicate_targets_each_count(self):
+        engine, net, actors = make_net()
+        net.multicast(0, [1, 1, 1], Ping(sender=0, nonce=1))
+        engine.run()
+        assert len(actors[1].inbox) == 3
+        assert net.stats.sent_by_kind["ping"] == 3
+
+    def test_unknown_target_raises_before_any_send(self):
+        _, net, _ = make_net()
+        with pytest.raises(UnknownActor):
+            net.multicast(0, [1, 99], Ping(sender=0, nonce=1))
+        assert net.stats.total_sent == 0
+
+    def test_dead_sender_drops_everything(self):
+        engine, net, actors = make_net(failure_model=StillbornFailures({0}))
+        net.multicast(0, [1, 2, 3], Ping(sender=0, nonce=1))
+        engine.run()
+        assert all(actors[pid].inbox == [] for pid in (1, 2, 3))
+        assert net.stats.dropped_by_reason["dead_sender"] == 3
+        assert net.stats.sent_by_kind["ping"] == 3  # attempts still paid
+
+    def test_dead_targets_dropped_at_delivery(self):
+        engine, net, actors = make_net(failure_model=StillbornFailures({2, 3}))
+        net.multicast(0, [1, 2, 3, 4], Ping(sender=0, nonce=1))
+        engine.run()
+        assert len(actors[1].inbox) == 1 and len(actors[4].inbox) == 1
+        assert net.stats.dropped_by_reason["dead_target"] == 2
+        assert net.stats.delivered_by_kind["ping"] == 2
+
+    def test_partitioned_targets_dropped(self):
+        engine, net, actors = make_net(
+            partition_model=StaticPartition([[0, 1], [2, 3]])
+        )
+        net.multicast(0, [1, 2, 3], Ping(sender=0, nonce=1))
+        engine.run()
+        assert len(actors[1].inbox) == 1
+        assert actors[2].inbox == [] and actors[3].inbox == []
+        assert net.stats.dropped_by_reason["partitioned"] == 2
+
+    def test_single_engine_entry_for_zero_latency_fanout(self):
+        engine, net, _ = make_net()
+        net.multicast(0, [1, 2, 3, 4, 5], Ping(sender=0, nonce=1))
+        # One batched delivery thunk, not five closures.
+        assert engine.pending == 1
+        engine.run()
+        assert net.stats.delivered_by_kind["ping"] == 5
+
+    def test_latency_delays_the_whole_batch(self):
+        engine, net, actors = make_net(latency=ConstantLatency(5.0))
+        net.multicast(0, [1, 2], Ping(sender=0, nonce=1))
+        engine.run(until=4.0)
+        assert actors[1].inbox == [] and actors[2].inbox == []
+        engine.run()
+        assert len(actors[1].inbox) == 1 and len(actors[2].inbox) == 1
+        assert engine.now == 5.0
+
+    def test_trace_multiset_matches_outcomes(self):
+        engine = Engine()
+        trace = TraceLog()
+        net = Network(
+            engine,
+            random.Random(0),
+            trace=trace,
+            failure_model=StillbornFailures({2}),
+        )
+        for pid in range(4):
+            net.register(Recorder(pid))
+        net.multicast(0, [1, 2, 3], Ping(sender=0, nonce=1))
+        engine.run()
+        assert trace.count("net.sent") == 3
+        assert trace.count("net.delivered") == 2
+        drops = trace.filter("net.dropped")
+        assert len(drops) == 1 and drops[0].detail["reason"] == "dead_target"
+
+
+# ----------------------------------------------------------------------
+# Property: multicast == loop of sends, bit for bit, under any pipeline
+# ----------------------------------------------------------------------
+
+LATENCIES = st.sampled_from(
+    [ConstantLatency(0.0), ConstantLatency(2.5), UniformLatency(0.0, 3.0)]
+)
+
+FAILURES = st.one_of(
+    st.none(),
+    st.builds(
+        StillbornFailures,
+        st.sets(st.integers(1, N_ACTORS - 1), max_size=3),
+    ),
+    st.builds(
+        DynamicFailures,
+        st.floats(0.0, 0.6),
+    ),
+)
+
+PARTITIONS = st.one_of(
+    st.none(),
+    st.builds(
+        lambda left: StaticPartition([sorted(left), []]),
+        st.sets(st.integers(0, N_ACTORS - 1), max_size=4),
+    ),
+)
+
+FANOUTS = st.lists(
+    st.lists(st.integers(0, N_ACTORS - 1), min_size=0, max_size=6),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _observe(engine, net, actors):
+    return {
+        "inboxes": [
+            [(m.kind, m.nonce) for m in actor.inbox] for actor in actors
+        ],
+        "stats": {
+            "sent": dict(net.stats.sent_by_kind),
+            "delivered": dict(net.stats.delivered_by_kind),
+            "dropped_reason": dict(net.stats.dropped_by_reason),
+            "dropped_kind": dict(net.stats.dropped_by_kind),
+        },
+        "rng_state": net._rng.getstate(),
+        "now": engine.now,
+    }
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    p_success=st.floats(0.0, 1.0),
+    latency=LATENCIES,
+    failure_model=FAILURES,
+    partition_model=PARTITIONS,
+    fanouts=FANOUTS,
+)
+@settings(max_examples=120, deadline=None)
+def test_multicast_same_seed_equivalent_to_send_loop(
+    seed, p_success, latency, failure_model, partition_model, fanouts
+):
+    observations = []
+    for batched in (False, True):
+        engine = Engine()
+        net = Network(
+            engine,
+            random.Random(seed),
+            p_success=p_success,
+            latency=latency,
+            failure_model=failure_model,
+            partition_model=partition_model,
+        )
+        actors = [Recorder(i) for i in range(N_ACTORS)]
+        for actor in actors:
+            net.register(actor)
+        for nonce, targets in enumerate(fanouts):
+            message = Ping(sender=0, nonce=nonce)
+            if batched:
+                net.multicast(0, targets, message)
+            else:
+                for target in targets:
+                    net.send(0, target, message)
+        engine.run()
+        observations.append(_observe(engine, net, actors))
+    loop, batch = observations
+    assert batch == loop
+
+
+@given(seed=st.integers(0, 2**32 - 1), p_success=st.floats(0.5, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_equivalence_holds_through_nested_forwarding(seed, p_success):
+    """Cascading multicasts (receivers fanning out at delivery time)
+    stay equivalent to cascades over the same seed."""
+    observations = []
+    for batched in (False, True):
+        engine = Engine()
+        net = Network(engine, random.Random(seed), p_success=p_success)
+        actors = [
+            Forwarder(pid, net, fan_to=[(pid + 1) % 4, (pid + 2) % 4])
+            for pid in range(4)
+        ]
+        for actor in actors:
+            net.register(actor)
+        message = Ping(sender=0, nonce=0)
+        if batched:
+            net.multicast(0, [1, 2], message)
+        else:
+            # The outer fan-out as a send loop; inner hops still batch —
+            # mixing the two paths must not change the trajectory either.
+            net.send(0, 1, message)
+            net.send(0, 2, message)
+        engine.run()
+        observations.append(_observe(engine, net, actors))
+    loop, batch = observations
+    assert batch == loop

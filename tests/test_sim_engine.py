@@ -1,5 +1,8 @@
 """Unit tests for the discrete-event engine and periodic tasks."""
 
+import gc
+import weakref
+
 import pytest
 
 from repro.errors import SchedulingError, SimulationError
@@ -140,6 +143,183 @@ class TestRun:
             engine.schedule(1.0, lambda: None)
         engine.run()
         assert engine.processed == 5
+
+
+class TestPendingAccuracy:
+    def test_pending_counts_live_events_only(self):
+        engine = Engine()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending == 2
+        first.cancel()
+        # The dead heap entry no longer counts, even before it is popped.
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    def test_double_cancel_does_not_double_decrement(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        handle.cancel()
+        assert engine.pending == 0
+        assert handle.fired and not handle.cancelled
+
+    def test_cancel_releases_callback_closure(self):
+        engine = Engine()
+
+        class Payload:
+            pass
+
+        payload = Payload()
+        ref = weakref.ref(payload)
+        handle = engine.schedule(100.0, lambda: payload)
+        del payload
+        handle.cancel()
+        gc.collect()
+        # The closure (and everything it captured) is gone even though the
+        # cancelled entry still sits in the heap.
+        assert ref() is None
+
+    def test_fired_callback_released_too(self):
+        engine = Engine()
+
+        class Payload:
+            pass
+
+        payload = Payload()
+        ref = weakref.ref(payload)
+        handle = engine.schedule(1.0, lambda: payload)
+        engine.run()
+        del payload
+        gc.collect()
+        assert handle.fired
+        assert ref() is None
+
+
+class TestScheduleBatch:
+    def test_batch_runs_all_in_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule_batch(
+            1.0, [lambda label=label: order.append(label) for label in "abc"]
+        )
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_batch_interleaves_fifo_with_singles(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("before"))
+        engine.schedule_batch(
+            1.0, [lambda n=n: order.append(f"batch{n}") for n in (1, 2)]
+        )
+        engine.schedule(1.0, lambda: order.append("after"))
+        engine.run()
+        assert order == ["before", "batch1", "batch2", "after"]
+
+    def test_zero_delay_batch_runs_after_current_same_time_events(self):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule_batch(0.0, [lambda: order.append("nested")])
+
+        engine.schedule(1.0, first)
+        engine.schedule(1.0, lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_batch_counts_each_callback(self):
+        engine = Engine()
+        engine.schedule_batch(1.0, [lambda: None] * 3)
+        assert engine.pending == 3
+        executed = engine.run()
+        assert executed == 3
+        assert engine.processed == 3
+
+    def test_cancel_batch_cancels_all(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule_batch(1.0, [lambda: fired.append(1)] * 4)
+        assert engine.pending == 4
+        handle.cancel()
+        assert engine.pending == 0
+        engine.run()
+        assert fired == []
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_batch(1.0, [])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_batch(-1.0, [lambda: None])
+
+    def test_schedule_batch_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulingError):
+            engine.schedule_batch_at(1.0, [lambda: None])
+
+    def test_schedule_batch_at_absolute_time(self):
+        engine = Engine()
+        times = []
+        engine.schedule_batch_at(3.5, [lambda: times.append(engine.now)] * 2)
+        engine.run()
+        assert times == [3.5, 3.5]
+
+
+class TestZeroLatencyBucket:
+    def test_mixed_bucket_and_heap_order(self):
+        engine = Engine()
+        order = []
+
+        def at_two():
+            order.append("heap@2")
+            engine.schedule(0.0, lambda: order.append("bucket@2"))
+            engine.schedule(1.0, lambda: order.append("heap@3"))
+
+        engine.schedule(2.0, at_two)
+        engine.run()
+        assert order == ["heap@2", "bucket@2", "heap@3"]
+
+    def test_cancelled_bucket_entry_skipped(self):
+        engine = Engine()
+        fired = []
+
+        def kickoff():
+            doomed = engine.schedule(0.0, lambda: fired.append("doomed"))
+            engine.schedule(0.0, lambda: fired.append("kept"))
+            doomed.cancel()
+
+        engine.schedule(1.0, kickoff)
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_until_horizon_with_bucket_events(self):
+        engine = Engine()
+        fired = []
+
+        def at_one():
+            fired.append("one")
+            engine.schedule(0.0, lambda: fired.append("one-nested"))
+
+        engine.schedule(1.0, at_one)
+        engine.schedule(10.0, lambda: fired.append("ten"))
+        engine.run(until=5.0)
+        assert fired == ["one", "one-nested"]
+        assert engine.now == 5.0
 
 
 class TestPeriodicTask:
