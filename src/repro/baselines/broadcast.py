@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.baselines.common import BaselineProcess, BaselineSystem
 from repro.core.events import Event
-from repro.membership.static import draw_topic_table
+from repro.membership.static import GroupTableBuilder
 from repro.membership.view import ProcessDescriptor
 from repro.topics.topic import Topic
 
@@ -37,9 +37,9 @@ class GossipBroadcastSystem(BaselineSystem):
         n = len(everyone)
         capacity = self.table_capacity(n)
         fanout = self.fanout(n)
-        for process in self.processes:
-            me = ProcessDescriptor(process.pid, GLOBAL_GROUP)
-            view = draw_topic_table(me, everyone, capacity, rng)
+        builder = GroupTableBuilder(everyone)
+        for index, process in enumerate(self.processes):
+            view = builder.table_at(index, capacity, rng)
             process.join_group(GLOBAL_GROUP, view, fanout)
         self._finalized = True
 

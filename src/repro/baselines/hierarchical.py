@@ -26,7 +26,8 @@ from typing import Any
 from repro.baselines.common import BaselineProcess, BaselineSystem
 from repro.core.events import Event
 from repro.errors import ConfigError
-from repro.membership.view import PartialView, ProcessDescriptor
+from repro.membership.static import GroupSampler, GroupTableBuilder
+from repro.membership.view import ProcessDescriptor
 from repro.net.message import EventMessage, Scope
 from repro.topics.topic import Topic
 
@@ -118,47 +119,37 @@ class HierarchicalGossipSystem(BaselineSystem):
             self._clusters[key].append(process)  # type: ignore[arg-type]
             process.cluster = key  # type: ignore[attr-defined]
 
-        # In-cluster tables: (b+1)·log(m), fan-out log(m)+c1.
+        # In-cluster tables: (b+1)·log(m), fan-out log(m)+c1. One shared
+        # build context per cluster (draw-identical to the former
+        # per-member exclusion lists).
         for key, members in self._clusters.items():
             size = len(members)
             capacity = self.table_capacity(size)
             fanout = self.fanout(size)
             descriptors = [ProcessDescriptor(p.pid, key) for p in members]
-            for process in members:
-                me = ProcessDescriptor(process.pid, key)
-                others = [d for d in descriptors if d.pid != process.pid]
-                view = PartialView(max(1, capacity))
-                chosen = (
-                    others
-                    if capacity >= len(others)
-                    else rng.sample(others, capacity)
-                )
-                for descriptor in chosen:
-                    view.add(descriptor, rng)
+            builder = GroupTableBuilder(descriptors)
+            for index, process in enumerate(members):
+                view = builder.table_at(index, capacity, rng)
                 process.join_group(key, view, fanout)
 
         # Cross-cluster tables: (b+1)·log(N) random processes of *other*
-        # clusters, fan-out log(N)+c2.
+        # clusters, fan-out log(N)+c2; one shared sampler per cluster's
+        # outsider population.
         n = self.n_clusters
         cross_capacity = self.table_capacity(n)
         log_term = math.log(n, self.log_base) if n > 1 else 0.0
         cross_fanout = max(1, math.ceil(log_term + self.c2))
         for key, members in self._clusters.items():
-            outsiders = [
-                ProcessDescriptor(p.pid, other_key)
-                for other_key, others in self._clusters.items()
-                if other_key != key
-                for p in others
-            ]
+            outsiders = GroupSampler(
+                [
+                    ProcessDescriptor(p.pid, other_key)
+                    for other_key, others in self._clusters.items()
+                    if other_key != key
+                    for p in others
+                ]
+            )
             for process in members:
-                view = PartialView(max(1, cross_capacity))
-                chosen = (
-                    outsiders
-                    if cross_capacity >= len(outsiders)
-                    else rng.sample(outsiders, cross_capacity)
-                )
-                for descriptor in chosen:
-                    view.add(descriptor, rng)
+                view = outsiders.table(cross_capacity, rng)
                 process.join_group(CLUSTERS_ROOT, view, cross_fanout)
         self._finalized = True
 

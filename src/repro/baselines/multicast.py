@@ -18,7 +18,7 @@ from typing import Any
 
 from repro.baselines.common import BaselineProcess, BaselineSystem
 from repro.core.events import Event
-from repro.membership.static import draw_topic_table
+from repro.membership.static import GroupTableBuilder
 from repro.membership.view import ProcessDescriptor
 from repro.topics.hierarchy import TopicHierarchy
 from repro.topics.topic import Topic
@@ -61,9 +61,9 @@ class GossipMulticastSystem(BaselineSystem):
             capacity = self.table_capacity(size)
             fanout = self.fanout(size)
             descriptors = [ProcessDescriptor(p.pid, topic) for p in members]
-            for process in members:
-                me = ProcessDescriptor(process.pid, topic)
-                view = draw_topic_table(me, descriptors, capacity, rng)
+            builder = GroupTableBuilder(descriptors)
+            for index, process in enumerate(members):
+                view = builder.table_at(index, capacity, rng)
                 process.join_group(topic, view, fanout)
         self._finalized = True
 

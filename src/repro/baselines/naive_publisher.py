@@ -30,7 +30,7 @@ from typing import Any
 
 from repro.baselines.common import BaselineProcess, BaselineSystem
 from repro.core.events import Event
-from repro.membership.static import draw_topic_table
+from repro.membership.static import GroupTableBuilder
 from repro.membership.view import ProcessDescriptor
 from repro.topics.hierarchy import TopicHierarchy
 from repro.topics.topic import Topic
@@ -56,33 +56,34 @@ class NaivePublisherSystem(BaselineSystem):
         process additionally receives tables for all its supertopic
         groups so it can publish into them (the pattern-2 requirement)."""
         rng = self.harness.rngs.stream("static-membership")
-        populations: dict[Topic, list[ProcessDescriptor]] = {}
+        builders: dict[Topic, GroupTableBuilder] = {}
         for topic in self.hierarchy.topics:
             members = self.subscribers_of(topic)
             if members:
-                populations[topic] = [
-                    ProcessDescriptor(p.pid, topic) for p in members
-                ]
-        for topic, descriptors in populations.items():
-            size = len(descriptors)
+                builders[topic] = GroupTableBuilder(
+                    [ProcessDescriptor(p.pid, topic) for p in members]
+                )
+        for topic, builder in builders.items():
+            size = len(builder)
             capacity = self.table_capacity(size)
             fanout = self.fanout(size)
-            for process in self.subscribers_of(topic):
-                me = ProcessDescriptor(process.pid, topic)
-                view = draw_topic_table(me, descriptors, capacity, rng)
+            for index, process in enumerate(self.subscribers_of(topic)):
+                view = builder.table_at(index, capacity, rng)
                 process.join_group(topic, view, fanout)
         # Publisher-side supergroup tables: every process gets one table
-        # per *populated* supertopic of its interest.
+        # per *populated* supertopic of its interest. The publisher is
+        # never a member of its supertopic's group, so the draw runs over
+        # the full population (table_for finds no pid to exclude).
         for process in self.processes:
             for ancestor in process.interest.ancestors():
-                descriptors = populations.get(ancestor)
-                if not descriptors:
+                builder = builders.get(ancestor)
+                if builder is None:
                     continue
-                size = len(descriptors)
+                size = len(builder)
                 capacity = self.table_capacity(size)
                 fanout = self.fanout(size)
                 me = ProcessDescriptor(process.pid, ancestor)
-                view = draw_topic_table(me, descriptors, capacity, rng)
+                view = builder.table_for(me, capacity, rng)
                 process.join_group(ancestor, view, fanout)
         self._finalized = True
 

@@ -29,6 +29,7 @@ from repro.core.params import DaMulticastConfig
 from repro.core.tables import SuperTopicTable
 from repro.errors import ConfigError, ProtocolError, UnknownTopic
 from repro.failures.model import FailureModel
+from repro.membership.static import GroupSampler, GroupTableBuilder
 from repro.membership.view import PartialView, ProcessDescriptor
 from repro.metrics.delivery import delivered_fraction
 from repro.net.latency import LatencyModel, ZERO_LATENCY
@@ -250,39 +251,41 @@ class MultiParentSystem:
         return None
 
     def finalize_static_membership(self) -> None:
-        """Draw the topic table and one supertopic table per parent."""
+        """Draw the topic table and one supertopic table per parent.
+
+        One shared :class:`GroupTableBuilder` per group and one
+        :class:`GroupSampler` per populated ancestor target replace the
+        former per-member exclusion-list and supergroup-copy rebuilds
+        (O(S²) per group), with draw-identical results.
+        """
         rng = self.harness.rngs.stream("static-membership")
         for topic, members in self._groups.items():
             params = self.config.params_for(topic)
             size = len(members)
             capacity = params.table_capacity(size)
             descriptors = [p.descriptor for p in members]
-            for process in members:
-                view = PartialView(max(1, capacity))
-                others = [d for d in descriptors if d.pid != process.pid]
-                chosen = (
-                    others
-                    if capacity >= len(others)
-                    else rng.sample(others, capacity)
+            builder = GroupTableBuilder(descriptors)
+            parent_samplers: list[tuple[Topic, Topic, GroupSampler]] = []
+            for parent in self.dag.parents_of(topic):
+                target = self._nearest_populated_up(parent)
+                if target is None:
+                    continue
+                parent_samplers.append(
+                    (
+                        parent,
+                        target,
+                        GroupSampler(
+                            [p.descriptor for p in self._groups[target]]
+                        ),
+                    )
                 )
-                for descriptor in chosen:
-                    view.add(descriptor, rng)
-                process.topic_view = view
+            for index, process in enumerate(members):
+                process.topic_view = builder.table_at(index, capacity, rng)
                 process.group_size = size
                 process.super_tables = {}
-                for parent in self.dag.parents_of(topic):
-                    target = self._nearest_populated_up(parent)
-                    if target is None:
-                        continue
-                    super_members = [
-                        p.descriptor for p in self._groups[target]
-                    ]
+                for parent, target, sampler in parent_samplers:
                     table = SuperTopicTable(params.z)
-                    sampled = (
-                        super_members
-                        if params.z >= len(super_members)
-                        else rng.sample(super_members, params.z)
-                    )
+                    sampled = sampler.sample(params.z, rng)
                     # own_topic check is path-based; DAG adoption validates
                     # via the DAG instead, so pass own_topic=None.
                     table.adopt(target, sampled, rng)

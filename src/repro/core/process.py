@@ -51,6 +51,23 @@ from repro.topics.topic import Topic
 DeliveryCallback = Callable[["DaMulticastProcess", Event], None]
 
 
+class GroupSizeCell:
+    """A shared, mutable group-size counter.
+
+    The system facade binds one cell per topic group to every member, so a
+    join updates ``S_Ti`` for the whole group with one increment instead of
+    an O(S) re-notification sweep per member (O(S²) per bootstrap wave).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"GroupSizeCell({self.value})"
+
+
 class DaMulticastProcess:
     """One process interested in exactly one topic (§III-A)."""
 
@@ -82,6 +99,7 @@ class DaMulticastProcess:
         self._tracker = tracker
         self._delivery_callback = delivery_callback
         self._group_size_hint = group_size_hint
+        self._group_size_cell: GroupSizeCell | None = None
 
         params = config.params_for(topic)
         self.super_table = SuperTopicTable(params.z)
@@ -142,9 +160,21 @@ class DaMulticastProcess:
         simulations); otherwise conservatively estimated from the topic
         table (self + known members).
         """
+        if self._group_size_cell is not None:
+            return max(1, self._group_size_cell.value)
         if self._group_size_hint is not None:
             return max(1, self._group_size_hint)
         return len(self.topic_table()) + 1
+
+    def bind_group_size(self, cell: GroupSizeCell) -> None:
+        """Share a live group-size counter with this process.
+
+        The cell takes precedence over any point-in-time hint, so the
+        facade can grow a group without re-notifying every member (the
+        former O(S)-per-join sweep). An explicit :meth:`set_group_size`
+        unbinds it again.
+        """
+        self._group_size_cell = cell
 
     def set_group_size(self, size: int) -> None:
         """Update the group-size hint (used for ``p_sel`` and fan-out).
@@ -153,6 +183,7 @@ class DaMulticastProcess:
         law ``(b+1)·log(S)``, so the view is resized to match — a group
         that grew from 10 to 1000 members needs (and gets) bigger tables.
         """
+        self._group_size_cell = None
         self._group_size_hint = size
         if self.membership is not None:
             capacity = self.params.table_capacity(max(2, size))

@@ -25,12 +25,20 @@ from typing import Any, Mapping
 
 from repro.core.events import Event
 from repro.core.params import DaMulticastConfig
-from repro.core.process import DaMulticastProcess, DeliveryCallback
+from repro.core.process import (
+    DaMulticastProcess,
+    DeliveryCallback,
+    GroupSizeCell,
+)
 from repro.errors import ConfigError, UnknownTopic
 from repro.failures.model import FailureModel
 from repro.membership.flat import FlatMembershipConfig
 from repro.membership.overlay import BootstrapOverlay
-from repro.membership.static import draw_topic_table, nearest_populated_super
+from repro.membership.static import (
+    GroupSampler,
+    GroupTableBuilder,
+    nearest_populated_super,
+)
 from repro.membership.view import ProcessDescriptor
 from repro.metrics.delivery import all_received, delivered_fraction
 from repro.net.latency import LatencyModel, ZERO_LATENCY
@@ -72,6 +80,10 @@ class DaMulticastSystem:
         )
         self._groups: dict[Topic, list[DaMulticastProcess]] = {}
         self._processes: dict[int, DaMulticastProcess] = {}
+        #: one live size counter per group, shared with every member
+        self._group_size_cells: dict[Topic, GroupSizeCell] = {}
+        #: last (b+1)·log S capacity pushed to a group's dynamic views
+        self._group_capacities: dict[Topic, int] = {}
         self._delivery_callback = delivery_callback
         self._static_finalized = False
 
@@ -148,7 +160,12 @@ class DaMulticastSystem:
         group = self._groups.setdefault(resolved, [])
         group.append(process)
         self._processes[pid] = process
-        self._refresh_group_size(resolved)
+        cell = self._group_size_cells.get(resolved)
+        if cell is None:
+            cell = self._group_size_cells[resolved] = GroupSizeCell()
+        cell.value = len(group)
+        process.bind_group_size(cell)
+        self._sync_membership_capacity(resolved, group, cell.value, process)
 
         if self.mode == "dynamic":
             assert self.overlay is not None
@@ -172,8 +189,10 @@ class DaMulticastSystem:
         """Create ``count`` processes interested in ``topic``."""
         if count < 1:
             raise ConfigError(f"count must be >= 1, got {count}")
+        resolved = self.hierarchy.add(topic)  # parse/register once, not per process
         return [
-            self.add_process(topic, subscribe=subscribe) for _ in range(count)
+            self.add_process(resolved, subscribe=subscribe)
+            for _ in range(count)
         ]
 
     def _membership_contact_for(
@@ -188,10 +207,35 @@ class DaMulticastSystem:
         chosen = self.harness.rngs.stream("contacts").choice(peers)
         return chosen.descriptor
 
-    def _refresh_group_size(self, topic: Topic) -> None:
-        members = self._groups[topic]
-        for member in members:
-            member.set_group_size(len(members))
+    def _sync_membership_capacity(
+        self,
+        topic: Topic,
+        members: list[DaMulticastProcess],
+        size: int,
+        newcomer: DaMulticastProcess,
+    ) -> None:
+        """Keep dynamic-mode view capacities on the ``(b+1)·log S`` law.
+
+        Replaces the former per-join sweep that re-notified every member
+        of the new group size (O(S) per join, O(S²) per bootstrap wave):
+        the shared :class:`GroupSizeCell` already publishes the size, so
+        only view capacities remain to sync — the newcomer always (its
+        view was sized from a default hint), everyone else only when the
+        group's table capacity actually changed, which happens O(log S)
+        times over a group's growth. Capacities only grow here (group
+        lists are append-only), so no eviction draw is ever consumed and
+        same-seed trajectories are unchanged.
+        """
+        if self.mode != "dynamic":
+            return
+        capacity = self.config.params_for(topic).table_capacity(max(2, size))
+        previous = self._group_capacities.get(topic)
+        self._group_capacities[topic] = capacity
+        targets = members if previous != capacity else (newcomer,)
+        for member in targets:
+            membership = member.membership
+            if membership is not None and membership.view.capacity != capacity:
+                membership.view.set_capacity(capacity, member.rng)
 
     # ------------------------------------------------------------------
     # Static-mode membership injection (§VII)
@@ -214,21 +258,23 @@ class DaMulticastSystem:
         for topic, members in self._groups.items():
             params = self.config.params_for(topic)
             capacity = params.table_capacity(len(members))
+            z = params.z
             super_topic = nearest_populated_super(topic, population)
             super_members = population.get(super_topic, []) if super_topic else []
-            for process in members:
+            # One shared build context per group: the descriptor list is
+            # materialised once and every member draws O(capacity) index
+            # samples through it (see membership/static.py), instead of
+            # rebuilding an O(S) exclusion list per member.
+            builder = GroupTableBuilder(population[topic])
+            super_sampler = (
+                GroupSampler(super_members) if super_members else None
+            )
+            for index, process in enumerate(members):
                 process.install_static_topic_table(
-                    draw_topic_table(
-                        process.descriptor, population[topic], capacity, rng
-                    )
+                    builder.table_at(index, capacity, rng)
                 )
-                if super_topic is not None and super_members:
-                    z = params.z
-                    sampled = (
-                        super_members
-                        if z >= len(super_members)
-                        else rng.sample(super_members, z)
-                    )
+                if super_topic is not None and super_sampler is not None:
+                    sampled = super_sampler.sample(z, rng)
                     process.super_table.clear()
                     process.super_table.adopt(
                         super_topic, sampled, rng, own_topic=topic

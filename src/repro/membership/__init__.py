@@ -22,6 +22,8 @@ from repro.membership.view import PartialView, ProcessDescriptor
 from repro.membership.flat import FlatMembership, FlatMembershipConfig
 from repro.membership.overlay import BootstrapOverlay
 from repro.membership.static import (
+    GroupSampler,
+    GroupTableBuilder,
     draw_super_table,
     draw_topic_table,
     static_table_capacity,
@@ -33,6 +35,8 @@ __all__ = [
     "FlatMembership",
     "FlatMembershipConfig",
     "BootstrapOverlay",
+    "GroupTableBuilder",
+    "GroupSampler",
     "draw_topic_table",
     "draw_super_table",
     "static_table_capacity",

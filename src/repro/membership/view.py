@@ -7,6 +7,28 @@ by the underlying membership algorithm) and the supertopic table
 :class:`ProcessDescriptor` entries, evicts uniformly at random on overflow
 (which keeps views close to uniform samples of the group — the property the
 gossip analysis of [10] needs), and supports the paper's MERGE semantics.
+
+Hot-path design (the gossip fast path calls :meth:`PartialView.sample`
+once per event reception, and static construction calls
+:meth:`PartialView.install` once per process):
+
+* **Cached descriptor tuple.** ``sample`` and ``descriptors`` serve from a
+  tuple snapshot of the entries, rebuilt lazily after any mutation (every
+  mutator resets the cache to ``None``). The ubiquitous
+  ``exclude=(self.pid,)`` call — where the caller's own pid is never in its
+  table — then samples straight from the cached tuple with no per-call
+  filtering or allocation. ``random.Random.sample`` draws identically from
+  a tuple and a list of the same ordering, so the fast path is draw-for-draw
+  identical to the historical build-a-candidates-list code.
+* **Eviction pid list.** Uniform eviction needs "the i-th key of the entry
+  dict" for a freshly drawn ``i``. Instead of materialising
+  ``list(self._entries)`` per eviction, a parallel pid list mirrors the
+  dict's insertion order (invariant: ``_pid_list is None`` or
+  ``_pid_list == list(_entries)``; ``install`` leaves it ``None`` and it is
+  rebuilt on first eviction). The victim is picked with one
+  ``rng._randbelow(len)`` draw — exactly the single draw
+  ``rng.choice(list(entries))`` used to make, so eviction trajectories are
+  bit-identical.
 """
 
 from __future__ import annotations
@@ -39,15 +61,40 @@ class PartialView:
     the favorite superprocesses): the longest-held live entries survive.
     """
 
+    __slots__ = ("capacity", "_entries", "_pid_list", "_cache")
+
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ConfigError(f"view capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: dict[int, ProcessDescriptor] = {}
+        #: insertion-order mirror of ``_entries`` keys; ``None`` = rebuild
+        #: lazily on first eviction (bulk ``install`` skips building it).
+        self._pid_list: list[int] | None = []
+        #: tuple snapshot served by ``descriptors``/``sample``; ``None``
+        #: after any mutation.
+        self._cache: tuple[ProcessDescriptor, ...] | None = None
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _evict_uniform(self, rng: random.Random | None, what: str) -> int:
+        """Remove and return one uniformly chosen pid (one rng draw)."""
+        if rng is None:
+            raise MembershipError(what)
+        pids = self._pid_list
+        if pids is None:
+            pids = self._pid_list = list(self._entries)
+        # One _randbelow draw — the same single draw that
+        # rng.choice(list(self._entries)) used to consume, but without
+        # materialising the key list per eviction.
+        index = rng._randbelow(len(pids))
+        victim = pids[index]
+        del pids[index]
+        del self._entries[victim]
+        self._cache = None
+        return victim
+
     def add(
         self, descriptor: ProcessDescriptor, rng: random.Random | None = None
     ) -> bool:
@@ -60,13 +107,13 @@ class PartialView:
         if descriptor.pid in self._entries:
             return True
         self._entries[descriptor.pid] = descriptor
+        if self._pid_list is not None:
+            self._pid_list.append(descriptor.pid)
+        self._cache = None
         if len(self._entries) > self.capacity:
-            if rng is None:
-                raise MembershipError(
-                    "view overflow requires an rng for uniform eviction"
-                )
-            victim = rng.choice(list(self._entries))
-            del self._entries[victim]
+            victim = self._evict_uniform(
+                rng, "view overflow requires an rng for uniform eviction"
+            )
             return victim != descriptor.pid
         return True
 
@@ -83,9 +130,32 @@ class PartialView:
             self.add(descriptor, rng)
         return added
 
+    def install(self, descriptors: Iterable[ProcessDescriptor]) -> None:
+        """Replace the whole content with ``descriptors`` (bulk, no rng).
+
+        The static build context uses this to bypass per-add bookkeeping:
+        the caller guarantees at most ``capacity`` distinct pids, so no
+        overflow check (and no eviction draw) is needed. Raises
+        :class:`MembershipError` when more entries than capacity are given.
+        """
+        entries = {d.pid: d for d in descriptors}
+        if len(entries) > self.capacity:
+            raise MembershipError(
+                f"install of {len(entries)} entries exceeds view capacity "
+                f"{self.capacity}"
+            )
+        self._entries = entries
+        self._pid_list = None
+        self._cache = None
+
     def remove(self, pid: int) -> bool:
         """Drop ``pid`` from the view; returns whether it was present."""
-        return self._entries.pop(pid, None) is not None
+        if self._entries.pop(pid, None) is None:
+            return False
+        if self._pid_list is not None:
+            self._pid_list.remove(pid)
+        self._cache = None
+        return True
 
     def replace(
         self,
@@ -104,6 +174,9 @@ class PartialView:
                 break
             if descriptor.pid not in self._entries:
                 self._entries[descriptor.pid] = descriptor
+                if self._pid_list is not None:
+                    self._pid_list.append(descriptor.pid)
+                self._cache = None
                 admitted += 1
         # rng kept in the signature for symmetry with merge(); no eviction
         # happens here because insertion stops at capacity.
@@ -113,6 +186,8 @@ class PartialView:
     def clear(self) -> None:
         """Empty the view."""
         self._entries.clear()
+        self._pid_list = []
+        self._cache = None
 
     def set_capacity(
         self, capacity: int, rng: random.Random | None = None
@@ -123,12 +198,9 @@ class PartialView:
         if capacity < 1:
             raise ConfigError(f"view capacity must be >= 1, got {capacity}")
         while len(self._entries) > capacity:
-            if rng is None:
-                raise MembershipError(
-                    "shrinking below current size requires an rng"
-                )
-            victim = rng.choice(list(self._entries))
-            del self._entries[victim]
+            self._evict_uniform(
+                rng, "shrinking below current size requires an rng"
+            )
         self.capacity = capacity
 
     # ------------------------------------------------------------------
@@ -138,7 +210,7 @@ class PartialView:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[ProcessDescriptor]:
-        return iter(list(self._entries.values()))
+        return iter(self.descriptors())
 
     def __contains__(self, pid: int) -> bool:
         return pid in self._entries
@@ -154,8 +226,11 @@ class PartialView:
         return list(self._entries)
 
     def descriptors(self) -> tuple[ProcessDescriptor, ...]:
-        """All entries in insertion order (oldest first)."""
-        return tuple(self._entries.values())
+        """All entries in insertion order (oldest first), cached."""
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = tuple(self._entries.values())
+        return cache
 
     def sample(
         self,
@@ -168,13 +243,29 @@ class PartialView:
         Fewer than ``k`` are returned when the view is too small — gossip
         fan-out degrades gracefully in small groups (Fig. 7 samples from
         ``Table - Ω``).
+
+        Allocation-light: when no excluded pid is actually present in the
+        view (the ubiquitous ``exclude=(self.pid,)`` case — a process never
+        holds itself in its own table), sampling runs directly over the
+        cached descriptor tuple without building a candidates list.
         """
         if k < 0:
             raise ConfigError(f"sample size must be >= 0, got {k}")
-        excluded = set(exclude)
-        candidates = [d for d in self._entries.values() if d.pid not in excluded]
+        entries = self._entries
+        candidates: tuple[ProcessDescriptor, ...] | list[ProcessDescriptor]
+        candidates = self.descriptors()
+        if exclude:
+            if not isinstance(exclude, (tuple, list, set, frozenset)):
+                exclude = tuple(exclude)
+            for pid in exclude:
+                if pid in entries:
+                    excluded = set(exclude)
+                    candidates = [
+                        d for d in candidates if d.pid not in excluded
+                    ]
+                    break
         if k >= len(candidates):
-            return candidates
+            return list(candidates)
         return rng.sample(candidates, k)
 
     def __repr__(self) -> str:

@@ -7,10 +7,21 @@ scenario's trajectories bit-for-bit: identical per-kind send/delivery
 counters, identical drop reasons, identical delivery fractions per group.
 Any change to RNG draw order anywhere in the transport or dissemination
 stack shows up here immediately.
+
+``test_static_construction_golden_large`` extends the net to the
+membership *construction* itself at a larger scale (S=500 plus a
+supergroup): its digest covers every table's exact content in exact
+insertion order, so a construction-order regression in the O(S·k) build
+context (index mapping, working-list advance, bulk install) is caught even
+if the aggregate dissemination counters happen to survive it. Captured
+from the pre-build-context implementation.
 """
+
+import hashlib
 
 import pytest
 
+from repro.core.system import DaMulticastSystem
 from repro.workloads import PaperScenario
 
 #: (seed, alive_fraction) -> observable outcome of one §VII publication,
@@ -53,3 +64,46 @@ def test_static_mode_outcomes_unchanged_by_batched_transport(
         for topic, fraction in built.delivered_fractions().items()
     }
     assert fractions == want["fractions"]
+
+
+#: Captured at the pre-build-context commit: SHA-256 over every process's
+#: topic-table pids, supertopic-table pids and sTable target, in creation
+#: and insertion order, for seed=123 / S_t1=100 / S_t1.t2=500.
+GOLDEN_LARGE_TABLE_DIGEST = (
+    "bdff3d531e067390fa3662fe0a6acd3b4ba5d74d54f9da36d9faedab0a644499"
+)
+GOLDEN_LARGE_PUBLISH = {
+    "sent": {"event": 7010},
+    "delivered": {"event": 6323},
+    "dropped": {"channel_loss": 687},
+}
+
+
+def test_static_construction_golden_large():
+    """S=500 membership construction is bit-identical, table by table."""
+    system = DaMulticastSystem(seed=123, p_success=0.9, mode="static")
+    system.add_group(".t1", 100)
+    system.add_group(".t1.t2", 500)
+    system.finalize_static_membership()
+
+    digest = hashlib.sha256()
+    for process in system.processes:
+        digest.update(b"T")
+        digest.update(",".join(map(str, process.topic_table().pids)).encode())
+        digest.update(b"S")
+        digest.update(",".join(map(str, process.super_table.pids)).encode())
+        digest.update(str(process.super_table.target_topic).encode())
+    assert digest.hexdigest() == GOLDEN_LARGE_TABLE_DIGEST
+
+    event = system.publish(".t1.t2")
+    system.run_until_idle()
+    assert dict(system.stats.sent_by_kind) == GOLDEN_LARGE_PUBLISH["sent"]
+    assert (
+        dict(system.stats.delivered_by_kind)
+        == GOLDEN_LARGE_PUBLISH["delivered"]
+    )
+    assert (
+        dict(system.stats.dropped_by_reason) == GOLDEN_LARGE_PUBLISH["dropped"]
+    )
+    assert round(system.delivered_fraction(event, ".t1.t2"), 12) == 1.0
+    assert round(system.delivered_fraction(event, ".t1"), 12) == 1.0

@@ -173,6 +173,127 @@ class TestQueries:
         assert len(view) == 0
 
 
+class TestInstall:
+    def test_install_replaces_content(self):
+        view = PartialView(5)
+        view.add(desc(99))
+        view.install([desc(1), desc(2), desc(3)])
+        assert view.pids == [1, 2, 3]
+        assert 99 not in view
+
+    def test_install_preserves_order(self):
+        view = PartialView(5)
+        view.install([desc(3), desc(1), desc(2)])
+        assert view.pids == [3, 1, 2]
+        assert [d.pid for d in view.descriptors()] == [3, 1, 2]
+
+    def test_install_at_exact_capacity(self):
+        view = PartialView(3)
+        view.install([desc(1), desc(2), desc(3)])
+        assert view.is_full
+
+    def test_install_over_capacity_raises(self):
+        view = PartialView(2)
+        with pytest.raises(MembershipError):
+            view.install([desc(1), desc(2), desc(3)])
+
+    def test_mutation_after_install_keeps_eviction_uniform(self):
+        # install leaves the pid list lazy; a later overflow must still
+        # evict with a single uniform draw over the *current* entries.
+        rng = random.Random(0)
+        view = PartialView(3)
+        view.install([desc(1), desc(2), desc(3)])
+        view.add(desc(4), rng)
+        assert len(view) == 3
+        view.remove(view.pids[0])
+        assert len(view) == 2
+
+    def test_install_matches_incremental_adds(self):
+        incremental = PartialView(4)
+        for pid in (5, 6, 7):
+            incremental.add(desc(pid))
+        bulk = PartialView(4)
+        bulk.install([desc(5), desc(6), desc(7)])
+        assert bulk.pids == incremental.pids
+        assert bulk.descriptors() == incremental.descriptors()
+
+
+class TestDescriptorCache:
+    def test_descriptors_cached_between_calls(self):
+        view = PartialView(5)
+        view.add(desc(1))
+        view.add(desc(2))
+        first = view.descriptors()
+        assert view.descriptors() is first  # served from cache
+
+    def test_cache_invalidated_by_each_mutator(self):
+        rng = random.Random(0)
+        mutations = [
+            lambda v: v.add(desc(50), rng),
+            lambda v: v.remove(2),
+            lambda v: v.merge([desc(60), desc(61)], rng),
+            lambda v: v.replace([1], [desc(70)], rng),
+            lambda v: v.install([desc(80), desc(81)]),
+            lambda v: v.clear(),
+        ]
+        for mutate in mutations:
+            view = PartialView(10)
+            for pid in (1, 2, 3):
+                view.add(desc(pid))
+            before = view.descriptors()
+            mutate(view)
+            after = view.descriptors()
+            assert after == tuple(view._entries.values())
+            assert after != before
+
+    def test_eviction_invalidates_cache(self):
+        rng = random.Random(3)
+        view = PartialView(2)
+        view.add(desc(1), rng)
+        view.add(desc(2), rng)
+        view.descriptors()
+        view.add(desc(3), rng)  # overflow -> eviction
+        assert len(view.descriptors()) == 2
+        assert view.descriptors() == tuple(view._entries.values())
+
+    def test_shrink_invalidates_cache(self):
+        rng = random.Random(3)
+        view = PartialView(4)
+        for pid in range(4):
+            view.add(desc(pid))
+        view.descriptors()
+        view.set_capacity(2, rng)
+        assert len(view.descriptors()) == 2
+        assert view.descriptors() == tuple(view._entries.values())
+
+    def test_sample_fast_path_when_excluded_absent(self):
+        # exclude=(own pid,) with the pid not in the view must not disturb
+        # the sampled outcome vs an explicit candidates list.
+        view = PartialView(10)
+        for pid in range(10):
+            view.add(desc(pid))
+        r1, r2 = random.Random(7), random.Random(7)
+        fast = view.sample(4, r1, exclude=(999,))
+        explicit = r2.sample(list(view.descriptors()), 4)
+        assert fast == explicit
+        assert r1.getstate() == r2.getstate()
+
+    def test_sample_returns_fresh_list(self):
+        view = PartialView(5)
+        view.add(desc(1))
+        got = view.sample(5, random.Random(0), exclude=(42,))
+        got.append(desc(2))  # caller may mutate the result freely
+        assert len(view) == 1
+        assert view.sample(5, random.Random(0)) == [desc(1)]
+
+    def test_sample_with_generator_exclude(self):
+        view = PartialView(5)
+        for pid in range(5):
+            view.add(desc(pid))
+        got = view.sample(5, random.Random(0), exclude=(p for p in (0, 1)))
+        assert sorted(d.pid for d in got) == [2, 3, 4]
+
+
 class TestDescriptor:
     def test_ordering(self):
         a = ProcessDescriptor(1, T)
