@@ -15,9 +15,11 @@ SCENARIO = PaperScenario()  # the §VII setting, log10 fan-out
 RUNS = 5
 
 
-def test_figure8(benchmark, emit):
+def test_figure8(benchmark, emit, sweep_jobs):
     table = benchmark.pedantic(
-        lambda: run_figure8(grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO),
+        lambda: run_figure8(
+            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, jobs=sweep_jobs
+        ),
         rounds=1,
         iterations=1,
     )

@@ -14,9 +14,11 @@ SCENARIO = PaperScenario()
 RUNS = 5
 
 
-def test_figure10(benchmark, emit):
+def test_figure10(benchmark, emit, sweep_jobs):
     table = benchmark.pedantic(
-        lambda: run_figure10(grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO),
+        lambda: run_figure10(
+            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, jobs=sweep_jobs
+        ),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,51 @@
+"""Parallel sweep engine — serial-vs-parallel equality and wall-clock.
+
+Runs one fig-10-sized sweep (the paper's §VII scenario over the full
+alive-fraction grid, 5 runs per point — the workload behind Figs. 8–11)
+twice: serially and fanned out over a worker pool. The gate is the
+**equality assertion** — `run_sweep(jobs=N)` must be bit-identical to
+the serial path — never the timing: speedup depends on the core count
+of the machine running CI, while equality must hold everywhere. The
+measured wall-clocks are emitted for the scaling story (near-linear on
+a multi-core container, pool overhead only on a single core).
+"""
+
+import os
+import time
+
+from repro.experiments import DEFAULT_GRID, run_figure10
+from repro.metrics.report import Table
+from repro.workloads import PaperScenario
+
+SCENARIO = PaperScenario()
+RUNS = 5
+
+
+def test_sweep_parallel_equality_and_scaling(benchmark, emit, sweep_jobs):
+    t0 = time.perf_counter()
+    serial = run_figure10(grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_figure10(
+            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, jobs=sweep_jobs
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = time.perf_counter() - t0
+
+    # The gate: bit-identical aggregated output, every cell of every row.
+    assert list(parallel.columns) == list(serial.columns)
+    assert parallel.rows == serial.rows
+
+    table = Table(
+        f"Parallel sweep — fig-10-sized workload, {len(DEFAULT_GRID)} points "
+        f"x {RUNS} runs ({os.cpu_count()} cores)",
+        ["mode", "jobs", "seconds", "speedup"],
+        precision=3,
+    )
+    table.add_row("serial", 1, serial_s, 1.0)
+    table.add_row("parallel", sweep_jobs, parallel_s, serial_s / parallel_s)
+    emit(table, "sweep_parallel")

@@ -9,11 +9,26 @@ round — these are experiment harnesses, not micro-benchmarks.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs() -> int:
+    """Worker processes for sweep-based benches.
+
+    Sweep results are bit-identical for any value (asserted by
+    tests/test_sweep_parallel.py and bench_sweep_parallel.py), so
+    benches run with one worker per core (capped at 4) unless
+    ``REPRO_SWEEP_JOBS`` overrides it.
+    """
+    return int(
+        os.environ.get("REPRO_SWEEP_JOBS", str(min(4, os.cpu_count() or 1)))
+    )
 
 
 @pytest.fixture(scope="session")

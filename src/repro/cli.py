@@ -42,10 +42,38 @@ from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
 
 
+def _add_sweep_exec_args(
+    parser: argparse.ArgumentParser, top_level: bool = False
+) -> None:
+    """Define `--jobs`/`--progress` on one parser.
+
+    The top-level parser holds the real defaults; subcommand parsers use
+    SUPPRESS so their flags override the top-level ones instead of
+    resetting them — both `repro --jobs 4 fig10` and `repro fig10
+    --jobs 4` work, with the subcommand position winning.
+    """
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1 if top_level else argparse.SUPPRESS,
+        help=(
+            "worker processes for sweep execution (default 1 = serial; "
+            "results are bit-identical for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        default=False if top_level else argparse.SUPPRESS,
+        help="print per-point sweep progress to stderr",
+    )
+
+
 def _add_common_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--runs", type=int, default=5, help="repetitions per grid point"
     )
+    _add_sweep_exec_args(parser)
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed for the sweep"
     )
@@ -77,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "the paper's figures and tables."
         ),
     )
+    _add_sweep_exec_args(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, help_text in [
@@ -92,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="measured §VI-E comparison of all four algorithms"
     )
     compare.add_argument("--runs", type=int, default=3)
+    _add_sweep_exec_args(compare)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument(
         "--sizes", type=int, nargs="+", default=[10, 100, 1000]
@@ -120,6 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "ablate-g", help="reliability/messages vs link redundancy g"
     )
     ablate_g.add_argument("--runs", type=int, default=5)
+    _add_sweep_exec_args(ablate_g)
     ablate_g.add_argument("--alive", type=float, default=0.7)
     ablate_g.add_argument(
         "--values", type=float, nargs="+", default=[1, 2, 5, 10, 20]
@@ -129,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "ablate-c", help="reliability/messages vs gossip constant c"
     )
     ablate_c.add_argument("--runs", type=int, default=5)
+    _add_sweep_exec_args(ablate_c)
     ablate_c.add_argument("--alive", type=float, default=1.0)
     ablate_c.add_argument(
         "--values", type=float, nargs="+", default=[0, 1, 2, 3, 5, 8]
@@ -138,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "scale-s", help="message growth vs bottom group size (O(S log S))"
     )
     scale_s.add_argument("--runs", type=int, default=3)
+    _add_sweep_exec_args(scale_s)
     scale_s.add_argument(
         "--values", type=int, nargs="+", default=[50, 100, 200, 400, 800]
     )
@@ -146,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "scale-t", help="message growth vs hierarchy depth (linear in t)"
     )
     scale_t.add_argument("--runs", type=int, default=3)
+    _add_sweep_exec_args(scale_t)
     scale_t.add_argument(
         "--values", type=int, nargs="+", default=[1, 2, 3, 4, 5]
     )
@@ -155,10 +189,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "stream", help="steady-state Poisson stream: cost/delivery/parasites"
     )
     stream.add_argument("--runs", type=int, default=3)
+    _add_sweep_exec_args(stream)
     stream.add_argument(
         "--rates", type=float, nargs="+", default=[0.05, 0.2, 0.5]
     )
     return parser
+
+
+def _progress_printer(args: argparse.Namespace):
+    """Per-point progress callback for ``--progress`` (None otherwise)."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def report(point: float, done: int, total: int) -> None:
+        print(
+            f"[{done}/{total}] point={point:g} done", file=sys.stderr
+        )
+
+    return report
 
 
 def _run_figure_command(args: argparse.Namespace) -> Table:
@@ -173,6 +221,8 @@ def _run_figure_command(args: argparse.Namespace) -> Table:
         runs=args.runs,
         master_seed=args.seed,
         scenario=_scenario_from(args),
+        jobs=args.jobs,
+        progress=_progress_printer(args),
     )
 
 
@@ -210,6 +260,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             scenario=PaperScenario(sizes=tuple(args.sizes)),
             runs=args.runs,
             master_seed=args.seed,
+            jobs=args.jobs,
+            progress=_progress_printer(args),
         )
         print(table.render())
     elif args.command == "analysis":
@@ -224,6 +276,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             g_values=tuple(args.values),
             alive_fraction=args.alive,
             runs=args.runs,
+            jobs=args.jobs,
+            progress=_progress_printer(args),
         )
         print(table.render())
     elif args.command == "ablate-c":
@@ -231,6 +285,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             c_values=tuple(args.values),
             alive_fraction=args.alive,
             runs=args.runs,
+            jobs=args.jobs,
+            progress=_progress_printer(args),
         )
         print(table.render())
     elif args.command == "scale-s":
@@ -238,7 +294,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         print(
             sweep_group_size(
-                s_values=tuple(args.values), runs=args.runs
+                s_values=tuple(args.values),
+                runs=args.runs,
+                jobs=args.jobs,
+                progress=_progress_printer(args),
             ).render()
         )
     elif args.command == "scale-t":
@@ -249,13 +308,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                 t_values=tuple(args.values),
                 level_size=args.level_size,
                 runs=args.runs,
+                jobs=args.jobs,
+                progress=_progress_printer(args),
             ).render()
         )
     elif args.command == "stream":
         from repro.experiments.multievent import stream_table
 
         print(
-            stream_table(rates=tuple(args.rates), runs=args.runs).render()
+            stream_table(
+                rates=tuple(args.rates),
+                runs=args.runs,
+                jobs=args.jobs,
+                progress=_progress_printer(args),
+            ).render()
         )
     return 0
 

@@ -13,7 +13,14 @@ are the series the paper plots; the benchmarks print them and assert the
 qualitative shape (who wins, orderings, crossovers).
 """
 
-from repro.experiments.runner import SweepResult, aggregate_runs, run_sweep
+from repro.experiments.runner import (
+    SweepCell,
+    SweepResult,
+    SweepWorkerError,
+    aggregate_runs,
+    run_cells,
+    run_sweep,
+)
 from repro.experiments.figures import (
     DEFAULT_GRID,
     run_figure8,
@@ -32,8 +39,11 @@ from repro.experiments.ablations import (
 
 __all__ = [
     "run_sweep",
+    "run_cells",
     "aggregate_runs",
     "SweepResult",
+    "SweepCell",
+    "SweepWorkerError",
     "DEFAULT_GRID",
     "run_figure8",
     "run_figure9",

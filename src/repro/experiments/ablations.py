@@ -8,6 +8,7 @@ parameters (g, a, z) and the fan-out constant c vary.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import replace
 from typing import Mapping, Sequence
 
@@ -15,7 +16,7 @@ from repro.analysis.reliability import (
     atomic_gossip_reliability,
     damulticast_reliability,
 )
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import ProgressFn, run_sweep
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
 
@@ -36,6 +37,18 @@ def _run_with_scenario(
     }
 
 
+def _link_redundancy_cell(
+    g: float, seed: int, *, base: PaperScenario, alive_fraction: float
+) -> Mapping[str, float]:
+    return _run_with_scenario(replace(base, g=float(g)), seed, alive_fraction)
+
+
+def _fanout_constant_cell(
+    c: float, seed: int, *, base: PaperScenario, alive_fraction: float
+) -> Mapping[str, float]:
+    return _run_with_scenario(replace(base, c=float(c)), seed, alive_fraction)
+
+
 def sweep_link_redundancy(
     *,
     g_values: Sequence[float] = (1, 2, 5, 10, 20),
@@ -43,6 +56,8 @@ def sweep_link_redundancy(
     alive_fraction: float = 0.7,
     runs: int = 5,
     master_seed: int = 0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Reliability/messages as the number of inter-group links ``g`` grows.
 
@@ -52,13 +67,15 @@ def sweep_link_redundancy(
     """
     base = scenario or PaperScenario()
     sweep = run_sweep(
-        lambda g, seed: _run_with_scenario(
-            replace(base, g=float(g)), seed, alive_fraction
+        functools.partial(
+            _link_redundancy_cell, base=base, alive_fraction=alive_fraction
         ),
         list(g_values),
         runs=runs,
         master_seed=master_seed,
         label="ablation-g",
+        jobs=jobs,
+        progress=progress,
     )
     table = Table(
         f"Ablation — link redundancy g (alive={alive_fraction})",
@@ -91,6 +108,8 @@ def sweep_fanout_constant(
     alive_fraction: float = 1.0,
     runs: int = 5,
     master_seed: int = 0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Reliability/messages as the gossip fan-out constant ``c`` grows.
 
@@ -100,13 +119,15 @@ def sweep_fanout_constant(
     """
     base = scenario or PaperScenario()
     sweep = run_sweep(
-        lambda c, seed: _run_with_scenario(
-            replace(base, c=float(c)), seed, alive_fraction
+        functools.partial(
+            _fanout_constant_cell, base=base, alive_fraction=alive_fraction
         ),
         list(c_values),
         runs=runs,
         master_seed=master_seed,
         label="ablation-c",
+        jobs=jobs,
+        progress=progress,
     )
     table = Table(
         f"Ablation — gossip constant c (alive={alive_fraction})",

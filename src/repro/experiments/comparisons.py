@@ -12,12 +12,19 @@ loss, seed discipline) and we measure what §VI-E tabulates:
 
 from __future__ import annotations
 
+import functools
 from typing import Mapping
 
 from repro.baselines.broadcast import GossipBroadcastSystem
 from repro.baselines.hierarchical import HierarchicalGossipSystem
 from repro.baselines.multicast import GossipMulticastSystem
-from repro.experiments.runner import aggregate_runs
+from repro.experiments.runner import (
+    ProgressFn,
+    SweepCell,
+    aggregate_runs,
+    grouped_progress,
+    run_cells,
+)
 from repro.metrics.delivery import delivered_fraction, parasite_deliveries
 from repro.metrics.report import Table
 from repro.sim.rng import derive_seed
@@ -126,18 +133,44 @@ def run_all_algorithms_once(
     return results
 
 
+def _comparison_cell(
+    _point: int, seed: int, *, scenario: PaperScenario
+) -> dict[str, Mapping[str, float]]:
+    return run_all_algorithms_once(scenario, seed)
+
+
 def measured_comparison(
     *,
     scenario: PaperScenario | None = None,
     runs: int = 3,
     master_seed: int = 0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
-    """The §VI-E table, measured: one row per algorithm (means over runs)."""
+    """The §VI-E table, measured: one row per algorithm (means over runs).
+
+    ``jobs`` runs the repetitions on worker processes; seed names match
+    the serial ``comparison/{j}`` derivation, so the table is identical
+    for any ``jobs``. ``progress`` is invoked per completed repetition
+    as ``progress(run_index, completed_runs, total_runs)``.
+    """
     scenario = scenario or PaperScenario()
+    cells = [
+        SweepCell(arg=j, seed_name=f"comparison/{j}", describe=f"run={j}")
+        for j in range(runs)
+    ]
+    per_run = run_cells(
+        functools.partial(_comparison_cell, scenario=scenario),
+        cells,
+        master_seed=master_seed,
+        jobs=jobs,
+        on_result=grouped_progress(
+            progress, [float(j) for j in range(runs)], 1
+        ),
+    )
     per_algorithm: dict[str, list[Mapping[str, float]]] = {}
-    for j in range(runs):
-        seed = derive_seed(master_seed, f"comparison/{j}")
-        for name, metrics in run_all_algorithms_once(scenario, seed).items():
+    for result in per_run:
+        for name, metrics in result.items():
             per_algorithm.setdefault(name, []).append(metrics)
 
     table = Table(

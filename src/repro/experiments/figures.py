@@ -13,9 +13,10 @@ columns are the paper's plotted series:
 
 from __future__ import annotations
 
+import functools
 from typing import Mapping, Sequence
 
-from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.runner import ProgressFn, SweepResult, run_sweep
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
 
@@ -63,15 +64,21 @@ def _sweep(
     scenario: PaperScenario,
     failure_mode: str,
     label: str,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> SweepResult:
+    # A partial of the module-level run function (not a lambda) so the
+    # sweep can be fanned out over worker processes with jobs > 1.
     return run_sweep(
-        lambda alive, seed: _run_scenario_once(
-            alive, seed, scenario=scenario, failure_mode=failure_mode
+        functools.partial(
+            _run_scenario_once, scenario=scenario, failure_mode=failure_mode
         ),
         grid,
         runs=runs,
         master_seed=master_seed,
         label=label,
+        jobs=jobs,
+        progress=progress,
     )
 
 
@@ -97,6 +104,8 @@ def run_figure8(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Fig. 8: number of events sent in each group vs alive fraction."""
     scenario = scenario or PaperScenario()
@@ -107,6 +116,8 @@ def run_figure8(
         scenario=scenario,
         failure_mode="stillborn",
         label="fig8",
+        jobs=jobs,
+        progress=progress,
     )
     depth = scenario.depth
     columns = {
@@ -123,6 +134,8 @@ def run_figure9(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Fig. 9: number of inter-group events vs alive fraction."""
     scenario = scenario or PaperScenario()
@@ -133,6 +146,8 @@ def run_figure9(
         scenario=scenario,
         failure_mode="stillborn",
         label="fig9",
+        jobs=jobs,
+        progress=progress,
     )
     depth = scenario.depth
     columns = {
@@ -150,6 +165,8 @@ def run_figure10(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Fig. 10: reception fraction per group, stillborn failures."""
     scenario = scenario or PaperScenario()
@@ -160,6 +177,8 @@ def run_figure10(
         scenario=scenario,
         failure_mode="stillborn",
         label="fig10",
+        jobs=jobs,
+        progress=progress,
     )
     depth = scenario.depth
     columns = {
@@ -177,6 +196,8 @@ def run_figure11(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Fig. 11: reception fraction per group, dynamic failures."""
     scenario = scenario or PaperScenario()
@@ -187,6 +208,8 @@ def run_figure11(
         scenario=scenario,
         failure_mode="dynamic",
         label="fig11",
+        jobs=jobs,
+        progress=progress,
     )
     depth = scenario.depth
     columns = {

@@ -13,10 +13,17 @@ amortizes and what doesn't:
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 from typing import Mapping
 
+from repro.experiments.runner import (
+    ProgressFn,
+    SweepCell,
+    grouped_progress,
+    run_cells,
+)
 from repro.metrics.delivery import parasite_deliveries
 from repro.metrics.report import Table
 from repro.sim.rng import derive_seed
@@ -69,6 +76,18 @@ def run_stream(
     }
 
 
+def _stream_cell(
+    rate: float,
+    seed: int,
+    *,
+    scenario: PaperScenario | None,
+    publish_levels: tuple[int, ...],
+) -> Mapping[str, float]:
+    return run_stream(
+        scenario=scenario, rate=rate, seed=seed, publish_levels=publish_levels
+    )
+
+
 def stream_table(
     *,
     rates: tuple[float, ...] = (0.05, 0.2, 0.5),
@@ -76,12 +95,18 @@ def stream_table(
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
     publish_levels: tuple[int, ...] = (1, 2),
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Stream metrics across arrival rates (means over ``runs``).
 
     ``publish_levels`` picks which hierarchy levels publications land on;
     restrict it to a single level when comparing per-event costs across
-    rates (mixed levels have legitimately different costs).
+    rates (mixed levels have legitimately different costs). ``jobs``
+    fans the (rate, run) cells over worker processes; the seed names
+    match the serial loop's ``stream/{rate}/{j}`` derivation, so results
+    are identical for any ``jobs``. ``progress`` is invoked once per
+    completed rate as ``progress(rate, completed_rates, total_rates)``.
     """
     table = Table(
         "Steady-state stream — per-event cost and delivery vs arrival rate",
@@ -95,16 +120,26 @@ def stream_table(
         ],
         precision=3,
     )
-    for rate in rates:
-        samples = [
-            run_stream(
-                scenario=scenario,
-                rate=rate,
-                seed=derive_seed(master_seed, f"stream/{rate}/{j}"),
-                publish_levels=publish_levels,
-            )
-            for j in range(runs)
-        ]
+    cells = [
+        SweepCell(
+            arg=rate,
+            seed_name=f"stream/{rate}/{j}",
+            describe=f"rate={rate!r}, run={j}",
+        )
+        for rate in rates
+        for j in range(runs)
+    ]
+    flat = run_cells(
+        functools.partial(
+            _stream_cell, scenario=scenario, publish_levels=publish_levels
+        ),
+        cells,
+        master_seed=master_seed,
+        jobs=jobs,
+        on_result=grouped_progress(progress, list(rates), runs),
+    )
+    for index, rate in enumerate(rates):
+        samples = flat[index * runs : (index + 1) * runs]
         table.add_row(
             rate,
             statistics.fmean(s["events"] for s in samples),

@@ -19,12 +19,19 @@ among survivors, because its tables point (almost) only at live peers.
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 from typing import Mapping
 
 from repro.core.params import DaMulticastConfig, TopicParams
 from repro.core.system import DaMulticastSystem
+from repro.experiments.runner import (
+    ProgressFn,
+    SweepCell,
+    grouped_progress,
+    run_cells,
+)
 from repro.failures.churn import ChurnSchedule
 from repro.metrics.report import Table
 from repro.sim.rng import derive_seed
@@ -105,24 +112,51 @@ def _repaired_run(
     }
 
 
+def _repair_cell(
+    mode: str, seed: int, *, scenario: PaperScenario, alive_fraction: float
+) -> Mapping[str, float]:
+    if mode == "frozen":
+        return _frozen_run(scenario, alive_fraction, seed)
+    return _repaired_run(scenario, alive_fraction, seed)
+
+
 def repair_comparison(
     *,
     alive_fraction: float = 0.6,
     runs: int = 4,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
-    """Frozen vs repaired delivery among survivors, same failure fraction."""
+    """Frozen vs repaired delivery among survivors, same failure fraction.
+
+    Both modes of repetition ``j`` share ``derive_seed(master_seed,
+    f"repair/{j}")`` — the comparison is paired — and ``jobs`` fans the
+    2·runs cells over worker processes without changing any seed.
+    ``progress`` fires once per completed (frozen, repaired) pair.
+    """
     scenario = scenario or PaperScenario(sizes=(4, 12, 48), p_succ=0.9)
-    rows: dict[str, list[Mapping[str, float]]] = {"frozen": [], "repaired": []}
-    for j in range(runs):
-        seed = derive_seed(master_seed, f"repair/{j}")
-        rows["frozen"].append(
-            _frozen_run(scenario, alive_fraction, seed)
+    cells = [
+        SweepCell(
+            arg=mode, seed_name=f"repair/{j}", describe=f"mode={mode}, run={j}"
         )
-        rows["repaired"].append(
-            _repaired_run(scenario, alive_fraction, seed)
-        )
+        for j in range(runs)
+        for mode in ("frozen", "repaired")
+    ]
+    flat = run_cells(
+        functools.partial(
+            _repair_cell, scenario=scenario, alive_fraction=alive_fraction
+        ),
+        cells,
+        master_seed=master_seed,
+        jobs=jobs,
+        on_result=grouped_progress(progress, list(range(runs)), 2),
+    )
+    rows: dict[str, list[Mapping[str, float]]] = {
+        "frozen": flat[0::2],
+        "repaired": flat[1::2],
+    }
     table = Table(
         "Frozen membership (paper's pessimistic §VII setting) vs live "
         f"repair — delivery among survivors at alive={alive_fraction}",

@@ -14,11 +14,12 @@ Two sweeps back the §VI-E.1 statements:
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import replace
 from typing import Mapping, Sequence
 
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import ProgressFn, run_sweep
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
 
@@ -38,6 +39,13 @@ def _messages_for_scenario(
     }
 
 
+def _group_size_cell(
+    s: float, seed: int, *, base: PaperScenario, upper_sizes: tuple[int, ...]
+) -> Mapping[str, float]:
+    scenario = replace(base, sizes=(*upper_sizes, int(s)))
+    return _messages_for_scenario(scenario, seed)
+
+
 def sweep_group_size(
     *,
     s_values: Sequence[int] = (50, 100, 200, 400, 800),
@@ -46,6 +54,8 @@ def sweep_group_size(
     master_seed: int = 0,
     c: float = 5.0,
     log_base: float = 10.0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Messages per publication vs the bottom group size ``S``.
 
@@ -58,14 +68,13 @@ def sweep_group_size(
         fanout_log_base=log_base,
         p_succ=1.0,
     )
-
-    def run_at(s: float, seed: int) -> Mapping[str, float]:
-        scenario = replace(base, sizes=(*upper_sizes, int(s)))
-        return _messages_for_scenario(scenario, seed)
-
     sweep = run_sweep(
-        run_at, [float(s) for s in s_values],
-        runs=runs, master_seed=master_seed, label="scale-S",
+        functools.partial(
+            _group_size_cell, base=base, upper_sizes=tuple(upper_sizes)
+        ),
+        [float(s) for s in s_values],
+        runs=runs, master_seed=master_seed, label="scale-S", jobs=jobs,
+        progress=progress,
     )
     table = Table(
         "Scaling — event messages vs bottom group size S "
@@ -84,6 +93,18 @@ def sweep_group_size(
     return table
 
 
+def _depth_cell(
+    t: float, seed: int, *, level_size: int, c: float, log_base: float
+) -> Mapping[str, float]:
+    scenario = PaperScenario(
+        sizes=tuple([level_size] * (int(t) + 1)),
+        c=c,
+        fanout_log_base=log_base,
+        p_succ=1.0,
+    )
+    return _messages_for_scenario(scenario, seed)
+
+
 def sweep_depth(
     *,
     t_values: Sequence[int] = (1, 2, 3, 4, 5),
@@ -92,21 +113,17 @@ def sweep_depth(
     master_seed: int = 0,
     c: float = 5.0,
     log_base: float = 10.0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
 ) -> Table:
     """Messages per publication vs chain depth ``t`` at fixed level size."""
-
-    def run_at(t: float, seed: int) -> Mapping[str, float]:
-        scenario = PaperScenario(
-            sizes=tuple([level_size] * (int(t) + 1)),
-            c=c,
-            fanout_log_base=log_base,
-            p_succ=1.0,
-        )
-        return _messages_for_scenario(scenario, seed)
-
     sweep = run_sweep(
-        run_at, [float(t) for t in t_values],
-        runs=runs, master_seed=master_seed, label="scale-t",
+        functools.partial(
+            _depth_cell, level_size=level_size, c=c, log_base=log_base
+        ),
+        [float(t) for t in t_values],
+        runs=runs, master_seed=master_seed, label="scale-t", jobs=jobs,
+        progress=progress,
     )
     table = Table(
         "Scaling — total event messages vs hierarchy depth t "

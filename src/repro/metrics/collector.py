@@ -55,6 +55,15 @@ class DeliveryTracker:
         """All recorded events, in publish order."""
         return list(self._published.values())
 
+    def event(self, event_id: EventId) -> Event | None:
+        """The published event with ``event_id`` (None if unknown).
+
+        O(1) — the indexed lookup behind per-event metric extraction;
+        callers must not rebuild ``{event_id: event}`` from
+        :attr:`events` (that turns an N-event scan quadratic).
+        """
+        return self._published.get(event_id)
+
     def publisher_of(self, event_id: EventId) -> int | None:
         """The pid that published ``event_id`` (None if unknown)."""
         return self._publisher.get(event_id)

@@ -76,9 +76,13 @@ def parasite_deliveries(
 def mean_delivery_latency(
     tracker: DeliveryTracker, event_id: EventId
 ) -> float | None:
-    """Mean first-delivery time minus publish time; None when undelivered."""
-    events = {event.event_id: event for event in tracker.events}
-    event = events.get(event_id)
+    """Mean first-delivery time minus publish time; None when undelivered.
+
+    Uses the tracker's O(1) indexed event lookup — extracting latencies
+    for every event of an N-event stream is O(total deliveries), not
+    O(N²).
+    """
+    event = tracker.event(event_id)
     if event is None:
         return None
     times = tracker.delivery_times(event_id)

@@ -140,6 +140,26 @@ class TestLatency:
         tracker.record_publish(e, 0)
         assert mean_delivery_latency(tracker, e.event_id) is None
 
+    def test_tracker_event_indexed_lookup(self):
+        tracker = DeliveryTracker()
+        events = [event(eid=i + 1, at=float(i)) for i in range(5)]
+        for i, e in enumerate(events):
+            tracker.record_publish(e, i)
+        for e in events:
+            assert tracker.event(e.event_id) is e
+        assert tracker.event(EventId(99, 99)) is None
+
+    def test_latency_over_stream_uses_index(self):
+        # Every event of a stream resolves through the O(1) index; the
+        # per-event latency is publish-relative, not absolute.
+        tracker = DeliveryTracker()
+        events = [event(eid=i + 1, at=float(i)) for i in range(10)]
+        for i, e in enumerate(events):
+            tracker.record_publish(e, 0)
+            tracker.record_delivery(1, e, float(i) + 2.0)
+        for e in events:
+            assert mean_delivery_latency(tracker, e.event_id) == 2.0
+
 
 class TestTable:
     def test_render_alignment(self):

@@ -97,6 +97,69 @@ class TestCli:
         assert code == 0
         assert "messages_per_event" in capsys.readouterr().out
 
+    def test_jobs_flag_top_level_identical_output(self, capsys):
+        args = ["fig10", "--runs", "2", "--grid", "0.5", "1.0",
+                "--sizes", "3", "8", "20"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "2", *args]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_jobs_flag_subcommand_position(self, capsys):
+        code = main([
+            "fig9", "--jobs", "2",
+            "--runs", "2", "--grid", "0.5", "1.0",
+            "--sizes", "3", "8", "20",
+        ])
+        assert code == 0
+        assert "T2->T1" in capsys.readouterr().out
+
+    def test_progress_flag_reports_points(self, capsys):
+        code = main([
+            "--progress", "fig10",
+            "--runs", "1", "--grid", "1.0", "--sizes", "3", "8", "20",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[1/1]" in captured.err
+        assert "recv_T2" in captured.out
+
+    def test_progress_flag_subcommand_position(self, capsys):
+        code = main([
+            "fig10", "--runs", "1", "--grid", "1.0",
+            "--sizes", "3", "8", "20", "--progress",
+        ])
+        assert code == 0
+        assert "[1/1]" in capsys.readouterr().err
+
+    def test_progress_flag_non_figure_commands(self, capsys):
+        # --progress must report on every sweep subcommand, not just
+        # the figure ones.
+        assert main(["--progress", "stream", "--runs", "1",
+                     "--rates", "0.1", "0.3"]) == 0
+        assert "[2/2]" in capsys.readouterr().err
+        assert main(["--progress", "compare", "--runs", "2",
+                     "--sizes", "3", "8", "20"]) == 0
+        assert "[2/2]" in capsys.readouterr().err
+        assert main(["--progress", "ablate-c", "--runs", "1",
+                     "--values", "0", "5"]) == 0
+        assert "[2/2]" in capsys.readouterr().err
+
+    def test_stream_jobs_identical_output(self, capsys):
+        args = ["stream", "--runs", "2", "--rates", "0.1", "0.3"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_compare_jobs_identical_output(self, capsys):
+        args = ["compare", "--runs", "2", "--sizes", "3", "8", "20"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "2", *args]) == 0
+        assert capsys.readouterr().out == serial
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
