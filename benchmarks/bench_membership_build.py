@@ -225,6 +225,14 @@ def test_membership_build(benchmark, emit):
 
     rows = table.as_dicts()
     by_size = {row["S"]: row for row in rows}
+    # Feed the per-PR bench trajectory record (BENCH_PR<k>.json): build
+    # seconds and speedup per group size, keyed by S.
+    benchmark.extra_info["build_seconds"] = {
+        str(row["S"]): row["build_fast_s"] for row in rows
+    }
+    benchmark.extra_info["build_speedup_vs_legacy"] = {
+        str(row["S"]): row["build_speedup"] for row in rows
+    }
     # The tentpole claim: ≥10× end-to-end static construction at S=5000
     # (measured ≈11-12× on the dev container; the removed work is O(S²),
     # so the margin only grows with S).

@@ -30,6 +30,7 @@ def test_engine_event_throughput(benchmark):
         return engine.processed
 
     processed = benchmark(run_10k_events)
+    benchmark.extra_info["events"] = processed
     assert processed == 10_000
 
 
@@ -55,6 +56,7 @@ def test_network_pipeline_throughput(benchmark):
         return network.stats.total_sent
 
     sent = benchmark(run_5k_sends)
+    benchmark.extra_info["events"] = sent
     assert sent == 5_000
 
 
@@ -67,6 +69,7 @@ def test_full_paper_publication(benchmark):
         return built.system.stats.event_messages_sent()
 
     messages = benchmark(one_publication)
+    benchmark.extra_info["events"] = messages
     assert messages > 7000
 
 
@@ -90,4 +93,6 @@ def test_large_static_group_publication(benchmark):
         return system.stats.total_sent
 
     sent = benchmark(one_publication)
+    # Rounds accumulate on one system, so report the per-round flood size.
+    benchmark.extra_info["events"] = sent // max(1, len(published))
     assert sent >= 5000 * 10  # a real flood ran (fanout log10(5000)+5 ≈ 9)

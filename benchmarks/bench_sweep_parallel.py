@@ -49,3 +49,8 @@ def test_sweep_parallel_equality_and_scaling(benchmark, emit, sweep_jobs):
     table.add_row("serial", 1, serial_s, 1.0)
     table.add_row("parallel", sweep_jobs, parallel_s, serial_s / parallel_s)
     emit(table, "sweep_parallel")
+    # Sweep wall-clock for the per-PR bench trajectory record.
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["parallel_s"] = parallel_s
+    benchmark.extra_info["jobs"] = sweep_jobs
+    benchmark.extra_info["sweep_cells"] = len(DEFAULT_GRID) * RUNS

@@ -6,79 +6,58 @@ long tail), and a steady stream of postings on random groups. Unlike NNTP
 there is no server: every posting is disseminated peer-to-peer and climbs
 only the branches that lead to interested readers.
 
-The example builds a comp.*/rec.*/sci.* style hierarchy, subscribes ~400
-readers with Zipf popularity, replays a Poisson posting schedule in static
-mode (frozen membership, like the paper's §VII simulator, so the run is
-fast and exactly reproducible) and reports per-newsgroup delivery and the
-system-wide message bill.
+This example runs entirely through the declarative scenario-spec
+subsystem: the bundled ``zipf-feed`` preset *is* this workload (a
+comp.*/rec.*/sci.* hierarchy, ~400 Zipf-popular readers, a Poisson
+posting schedule replayed in static mode), so the whole simulation is one
+``compile_spec(...).build(seed).execute()`` — exactly reproducible, and
+sweepable over any spec field from the CLI::
+
+    python -m repro scenario run zipf-feed
+    python -m repro scenario sweep zipf-feed --field p_success \\
+        --values 0.7 0.8 0.9 1.0
 
 Run:  python examples/news_hierarchy.py
 """
 
-import random
 from collections import Counter
 
-from repro.core import DaMulticastConfig, DaMulticastSystem, TopicParams
-from repro.metrics import parasite_deliveries
-from repro.topics import Topic, from_names
-from repro.workloads import PoissonSchedule, zipf_subscriptions
-from repro.workloads.subscriptions import populate_system
-
-NEWSGROUPS = [
-    ".comp.lang.python",
-    ".comp.lang.c",
-    ".comp.arch",
-    ".rec.sport.football",
-    ".rec.sport.hockey",
-    ".rec.music",
-    ".sci.physics",
-    ".sci.math",
-]
+from repro.workloads.presets import load_preset
+from repro.workloads.spec import compile_spec
 
 
 def main() -> None:
-    hierarchy = from_names(NEWSGROUPS)
-    rng = random.Random(7)
+    spec = load_preset("zipf-feed")
+    built = compile_spec(spec).build(seed=7)
+    metrics = built.execute()
+    system = built.system
 
-    config = DaMulticastConfig(
-        default_params=TopicParams(b=3, c=4, g=3, a=1, z=3)
-    )
-    system = DaMulticastSystem(
-        config=config, seed=7, p_success=0.9, mode="static"
-    )
-
-    counts = zipf_subscriptions(hierarchy, 400, rng, exponent=1.2)
-    populate_system(system, counts)
-    system.finalize_static_membership()
-
-    # A morning of postings: Poisson arrivals over the leaf newsgroups.
-    leaves = [Topic.parse(name) for name in NEWSGROUPS]
-    present = [t for t in leaves if system.group(t)]
-    schedule = PoissonSchedule(present, rate=0.5, horizon=40.0)
-    postings = schedule.generate(rng)
-
+    # Per-newsgroup story: which groups got postings, and how many of
+    # those postings reached (essentially) every subscriber.
     delivered_ok = Counter()
-    for posting in postings:
-        event = system.publish(posting.topic, payload="article")
-        system.run_until_idle()
-        fraction = system.delivered_fraction(event, posting.topic)
-        delivered_ok[posting.topic.name] += fraction >= 0.99
+    for event in built.published:
+        fraction = system.delivered_fraction(event, event.topic)
+        delivered_ok[event.topic.name] += fraction >= 0.99
 
-    print(f"replayed {len(postings)} postings over "
-          f"{len(present)} newsgroups, {len(system.processes)} readers\n")
+    present = sorted(
+        topic for topic, count in built.counts.items() if count > 0
+    )
+    print(
+        f"replayed {int(metrics['events'])} postings over "
+        f"{len(present)} newsgroups, {len(system.processes)} readers\n"
+    )
     print(f"{'newsgroup':<26} {'subscribers':>11} {'full-delivery postings':>23}")
     for topic in present:
-        name = topic.name
         print(
-            f"{name:<26} {len(system.group(topic)):>11} "
-            f"{delivered_ok[name]:>23}"
+            f"{topic.name:<26} {built.counts[topic]:>11} "
+            f"{delivered_ok[topic.name]:>23}"
         )
 
-    stats = system.stats
-    parasites = parasite_deliveries(system.tracker, system.interests())
-    print(f"\nevent messages sent : {stats.event_messages_sent()}")
-    print(f"parasite deliveries : {parasites} "
-          "(no reader ever saw a group they did not subscribe to)")
+    print(f"\nevent messages sent : {int(metrics['event_messages'])}")
+    print(
+        f"parasite deliveries : {int(metrics['parasites'])} "
+        "(no reader ever saw a group they did not subscribe to)"
+    )
 
 
 if __name__ == "__main__":

@@ -7,67 +7,82 @@ dissemination."
 
 A ticker plant publishes trades on ``.markets.equities.tech`` over a lossy
 network (p_succ = 0.75). We compare two configurations of the *same*
-deployment:
+declarative scenario spec:
 
 * a cheap profile (c=2, g=1, a=1, z=2) — fewer messages, weaker delivery,
 * a reliable profile for the hot topic only (c=6, g=8, a=2, z=4 override
   on ``.markets.equities.tech``) — the paper's per-topic override in
   action: only the hot group and its links pay the premium.
 
+The second profile is literally ``spec_with(spec, "params.overrides",
+...)`` on the first — per-topic tuning is one spec field, so the same
+comparison is a CLI sweep away.
+
 Run:  python examples/stock_ticker.py
 """
 
-from dataclasses import replace
-
-from repro.core import DaMulticastConfig, DaMulticastSystem, TopicParams
 from repro.topics import Topic
+from repro.workloads.spec import compile_spec, spec_with
 
 MARKETS = Topic.parse(".markets")
 EQUITIES = Topic.parse(".markets.equities")
 TECH = Topic.parse(".markets.equities.tech")
 
-CHEAP = TopicParams(b=3, c=2, g=1, a=1, z=2)
-HOT = TopicParams(b=3, c=6, g=8, a=2, z=4)
+BASE_SPEC = {
+    "name": "stock-ticker",
+    "description": "20-trade burst on a hot topic over a lossy network",
+    "topics": {"kind": "names", "names": [".markets.equities.tech"]},
+    "subscriptions": {
+        "kind": "explicit",
+        "counts": {
+            ".markets": 10,          # risk/compliance: everything
+            ".markets.equities": 50,  # equities desks
+            ".markets.equities.tech": 300,  # tech-sector traders
+        },
+    },
+    "publications": {
+        "kind": "burst",
+        "topic": ".markets.equities.tech",
+        "count": 20,
+        "spacing": 1.0,
+    },
+    "failures": {"kind": "none"},
+    "params": {"b": 3, "c": 2, "g": 1, "a": 1, "z": 2},
+    "p_success": 0.75,
+}
+
+HOT_OVERRIDES = {
+    # The hot group pays for reliability; upstream desks get a modest
+    # boost too, so the hand-off holds.
+    ".markets.equities.tech": {"c": 6, "g": 8, "a": 2, "z": 4},
+    ".markets.equities": {"c": 4, "g": 4, "z": 3},
+}
 
 
-def run_profile(name: str, config: DaMulticastConfig, seed: int) -> None:
-    system = DaMulticastSystem(
-        config=config, seed=seed, p_success=0.75, mode="static"
-    )
-    system.add_group(MARKETS, 10)      # risk/compliance: everything
-    system.add_group(EQUITIES, 50)     # equities desks
-    system.add_group(TECH, 300)        # tech-sector traders
+def run_profile(name: str, spec: dict, seed: int) -> None:
+    built = compile_spec(spec).build(seed=seed)
+    metrics = built.execute()
+    system = built.system
 
-    system.finalize_static_membership()
-
-    # A burst of 20 trades on the hot topic.
-    fractions = {MARKETS: 0.0, EQUITIES: 0.0, TECH: 0.0}
-    trades = 20
-    for i in range(trades):
-        event = system.publish(TECH, payload={"symbol": "ACME", "seq": i})
-        system.run_until_idle()
-        for topic in fractions:
-            fractions[topic] += system.delivered_fraction(event, topic)
-
-    messages = system.stats.event_messages_sent()
+    trades = len(built.published)
     print(f"{name}:")
-    for topic, total in fractions.items():
-        print(f"  {topic.name:<26} mean delivery {total / trades:6.1%}")
+    for topic in (MARKETS, EQUITIES, TECH):
+        mean = sum(
+            system.delivered_fraction(event, topic)
+            for event in built.published
+        ) / trades
+        print(f"  {topic.name:<26} mean delivery {mean:6.1%}")
+    messages = int(metrics["event_messages"])
     print(f"  event messages for {trades} trades: {messages}")
-    print(f"  messages/trade: {messages / trades:.0f}\n")
+    print(f"  messages/trade: {metrics['messages_per_event']:.0f}\n")
 
 
 def main() -> None:
     print("lossy network: p_succ = 0.75\n")
 
-    cheap_everywhere = DaMulticastConfig(default_params=CHEAP)
-    run_profile("cheap profile everywhere", cheap_everywhere, seed=11)
+    run_profile("cheap profile everywhere", BASE_SPEC, seed=11)
 
-    hot_topic_tuned = cheap_everywhere.with_override(TECH, HOT)
-    # Give the upstream desks a modest boost too, so the hand-off holds.
-    hot_topic_tuned = hot_topic_tuned.with_override(
-        EQUITIES, replace(CHEAP, g=4, z=3, c=4)
-    )
+    hot_topic_tuned = spec_with(BASE_SPEC, "params.overrides", HOT_OVERRIDES)
     run_profile("hot topic tuned (per-topic overrides)", hot_topic_tuned, seed=11)
 
     print(

@@ -10,17 +10,27 @@ Usage (installed as ``damulticast``, or ``python -m repro``)::
     damulticast tuning --pit 0.9995 # Appendix feasibility/z-bounds
     damulticast ablate-g / ablate-c # tuning-knob sweeps
 
+    damulticast scenario list                        # bundled presets
+    damulticast scenario run paper-vii --jobs 2      # run a preset
+    damulticast scenario run SPEC.json --runs 5      # run a spec file
+    damulticast scenario sweep SPEC.json \\
+        --field failures.alive_fraction --values 0.5 0.75 1.0
+
 Every command prints the same rows/series the paper reports, as an
-aligned ASCII table.
+aligned ASCII table. Scenario specs are declarative JSON documents (see
+``repro.workloads.spec``); ``scenario`` output is bit-identical for any
+``--jobs`` value.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.analysis.comparison import ChainScenario, comparison_table
+from repro.errors import ConfigError
 from repro.analysis.tuning import (
     match_broadcast,
     match_hierarchical,
@@ -38,8 +48,16 @@ from repro.experiments.figures import (
     run_figure10,
     run_figure11,
 )
+from repro.experiments.runner import aggregate_runs
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
+from repro.workloads.spec import (
+    load_spec,
+    metrics_digest,
+    run_scenario,
+    spec_with,
+    sweep_scenario,
+)
 
 
 def _add_sweep_exec_args(
@@ -193,6 +211,76 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--rates", type=float, nargs="+", default=[0.05, 0.2, 0.5]
     )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario specs: run/sweep a SPEC.json or preset",
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one spec (JSON file path or bundled preset name)"
+    )
+    scenario_run.add_argument(
+        "spec", help="path to a SPEC.json, or a bundled preset name"
+    )
+    scenario_run.add_argument(
+        "--runs", type=int, default=3, help="repetitions with derived seeds"
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=0, help="master seed for the repetitions"
+    )
+    _add_sweep_exec_args(scenario_run)
+    scenario_run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help=(
+            "override a spec field before running, e.g. "
+            "--set failures.alive_fraction=0.5 or --set protocol=broadcast "
+            "(VALUE is parsed as JSON, falling back to a bare string)"
+        ),
+    )
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="sweep one spec field over a list of values"
+    )
+    scenario_sweep.add_argument(
+        "spec", help="path to a SPEC.json, or a bundled preset name"
+    )
+    scenario_sweep.add_argument(
+        "--field",
+        required=True,
+        help="dotted spec path to sweep, e.g. failures.alive_fraction",
+    )
+    scenario_sweep.add_argument(
+        "--values",
+        required=True,
+        nargs="+",
+        help="values for the swept field (each parsed as JSON, then string)",
+    )
+    scenario_sweep.add_argument("--runs", type=int, default=3)
+    scenario_sweep.add_argument("--seed", type=int, default=0)
+    _add_sweep_exec_args(scenario_sweep)
+    scenario_sweep.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="override a spec field before sweeping (see 'scenario run')",
+    )
+
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list the bundled scenario presets"
+    )
+    scenario_list.add_argument(
+        "--names", action="store_true", help="print bare preset names only"
+    )
     return parser
 
 
@@ -201,10 +289,12 @@ def _progress_printer(args: argparse.Namespace):
     if not getattr(args, "progress", False):
         return None
 
-    def report(point: float, done: int, total: int) -> None:
-        print(
-            f"[{done}/{total}] point={point:g} done", file=sys.stderr
+    def report(point, done: int, total: int) -> None:
+        # Scenario sweeps can have non-numeric points (protocol names).
+        shown = (
+            f"{point:g}" if isinstance(point, (int, float)) else str(point)
         )
+        print(f"[{done}/{total}] point={shown} done", file=sys.stderr)
 
     return report
 
@@ -224,6 +314,94 @@ def _run_figure_command(args: argparse.Namespace) -> Table:
         jobs=args.jobs,
         progress=_progress_printer(args),
     )
+
+
+def _parse_cli_value(raw: str) -> Any:
+    """JSON when it parses, bare string otherwise (so ``--set
+    protocol=broadcast`` needs no shell-quoted JSON)."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _apply_overrides(spec: Mapping, pairs: Sequence[str]) -> Mapping:
+    for pair in pairs:
+        path, sep, raw = pair.partition("=")
+        if not sep or not path:
+            raise ConfigError(f"--set expects PATH=VALUE, got {pair!r}")
+        spec = spec_with(spec, path, _parse_cli_value(raw))
+    return spec
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        from repro.workloads.presets import load_preset, preset_names
+
+        if args.names:
+            for name in preset_names():
+                print(name)
+            return 0
+        table = Table(
+            "Bundled scenario presets",
+            ["preset", "protocol", "description"],
+        )
+        for name in preset_names():
+            spec = load_preset(name)
+            protocol = spec.get("protocol", "daMulticast")
+            if isinstance(protocol, Mapping):
+                protocol = protocol.get("name", "?")
+            table.add_row(name, protocol, spec.get("description", ""))
+        print(table.render())
+        return 0
+
+    spec = _apply_overrides(load_spec(args.spec), args.overrides)
+    progress = _progress_printer(args)
+    if args.scenario_command == "run":
+        samples = run_scenario(
+            spec,
+            runs=args.runs,
+            master_seed=args.seed,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        means, stds = aggregate_runs(samples)
+        table = Table(
+            f"scenario {spec.get('name', args.spec)} — metrics over "
+            f"{args.runs} run(s), master seed {args.seed}",
+            ["metric", "mean", "std"],
+            precision=4,
+        )
+        for metric in sorted(means):
+            table.add_row(metric, means[metric], stds[metric])
+        print(table.render())
+        print(f"metrics digest: {metrics_digest(samples)}")
+        return 0
+
+    # sweep
+    values = [_parse_cli_value(value) for value in args.values]
+    result = sweep_scenario(
+        spec,
+        args.field,
+        values,
+        runs=args.runs,
+        master_seed=args.seed,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    metric_names = result.metric_names()
+    table = Table(
+        f"scenario sweep over {args.field} "
+        f"({args.runs} run(s)/point, master seed {args.seed})",
+        [args.field, *metric_names],
+        precision=4,
+    )
+    for index, point in enumerate(result.points):
+        table.add_row(
+            point, *(result.means[metric][index] for metric in metric_names)
+        )
+    print(table.render())
+    return 0
 
 
 def _run_tuning_command(args: argparse.Namespace) -> Table:
@@ -253,6 +431,12 @@ def _run_tuning_command(args: argparse.Namespace) -> Table:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "scenario":
+        try:
+            return _run_scenario_command(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command in ("fig8", "fig9", "fig10", "fig11"):
         print(_run_figure_command(args).render())
     elif args.command == "compare":

@@ -6,7 +6,13 @@
 * :mod:`~repro.workloads.subscriptions` — subscription distributions over
   a hierarchy (per-level counts, uniform, Zipf-popularity),
 * :mod:`~repro.workloads.publications` — publication schedules
-  (single-shot, Poisson, bursts) for multi-event experiments.
+  (single-shot, Poisson, bursts) for multi-event experiments,
+* :mod:`~repro.workloads.spec` — declarative scenario specs (plain
+  dict/JSON) composing all of the above with failure plans and protocol
+  choice into runnable, sweepable simulations,
+* :mod:`~repro.workloads.presets` — bundled, named preset specs
+  (``paper-vii``, ``zipf-feed``, ``news-burst``, ``churn-heavy``,
+  ``partition-heal``, ``baseline-compare``).
 """
 
 from repro.workloads.scenarios import PaperScenario, ScenarioRun
@@ -21,6 +27,16 @@ from repro.workloads.publications import (
     replay_on,
     single_shot,
 )
+from repro.workloads.spec import (
+    CompiledSpec,
+    compile_spec,
+    load_spec,
+    metrics_digest,
+    run_scenario,
+    run_spec,
+    spec_with,
+    sweep_scenario,
+)
 
 __all__ = [
     "PaperScenario",
@@ -32,4 +48,12 @@ __all__ = [
     "burst_schedule",
     "replay_on",
     "PoissonSchedule",
+    "CompiledSpec",
+    "compile_spec",
+    "load_spec",
+    "metrics_digest",
+    "run_scenario",
+    "run_spec",
+    "spec_with",
+    "sweep_scenario",
 ]

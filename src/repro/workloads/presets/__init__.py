@@ -1,0 +1,40 @@
+"""Bundled scenario presets: named, ready-to-run :mod:`repro.workloads.spec`
+specs shipped as JSON files next to this module.
+
+Each preset is one point in the scenario space the spec subsystem opens —
+the §VII paper workload, a Zipf-skewed feed, a news burst, heavy churn, a
+healing partition, and a baseline counterpart of the paper workload. Run
+one with::
+
+    python -m repro scenario run paper-vii --jobs 2
+
+or from code::
+
+    from repro.workloads.presets import load_preset
+    from repro.workloads.spec import run_spec
+    metrics = run_spec(load_preset("paper-vii"), seed=0)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ConfigError
+
+PRESET_DIR = pathlib.Path(__file__).parent
+
+
+def preset_names() -> list[str]:
+    """Names of every bundled preset, sorted."""
+    return sorted(path.stem for path in PRESET_DIR.glob("*.json"))
+
+
+def load_preset(name: str) -> dict:
+    """Load one bundled preset spec by name (without the ``.json``)."""
+    path = PRESET_DIR / f"{name}.json"
+    if not path.is_file():
+        raise ConfigError(
+            f"unknown preset {name!r}; available: {', '.join(preset_names())}"
+        )
+    return json.loads(path.read_text())

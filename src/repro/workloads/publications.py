@@ -7,10 +7,11 @@ throughput-oriented tests exercise streams of events: Poisson arrivals
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from itertools import groupby
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigError
 from repro.topics.topic import Topic
@@ -26,6 +27,10 @@ class ScheduledPublication:
 
 def single_shot(topic: Topic, at: float = 0.0) -> list[ScheduledPublication]:
     """The §VII workload: exactly one event."""
+    if not math.isfinite(at):
+        raise ConfigError(f"at must be finite, got {at!r}")
+    if at < 0:
+        raise ConfigError(f"at must be >= 0, got {at}")
     return [ScheduledPublication(at, topic)]
 
 
@@ -36,29 +41,53 @@ def burst_schedule(
     start: float = 0.0,
     spacing: float = 0.0,
 ) -> list[ScheduledPublication]:
-    """``count`` publications on one topic, ``spacing`` apart."""
+    """``count`` publications on one topic, ``spacing`` apart.
+
+    ``start`` and ``spacing`` must be finite and non-negative: a NaN or
+    infinite value would silently produce an unsorted (or unrunnable)
+    schedule, and a negative ``start`` would schedule in the engine's past.
+    """
     if count < 1:
         raise ConfigError(f"count must be >= 1, got {count}")
+    if not math.isfinite(spacing):
+        raise ConfigError(f"spacing must be finite, got {spacing!r}")
     if spacing < 0:
         raise ConfigError(f"spacing must be >= 0, got {spacing}")
+    if not math.isfinite(start):
+        raise ConfigError(f"start must be finite, got {start!r}")
+    if start < 0:
+        raise ConfigError(f"start must be >= 0, got {start}")
     return [
         ScheduledPublication(start + index * spacing, topic)
         for index in range(count)
     ]
 
 
-def replay_on(system, publications: Sequence[ScheduledPublication]) -> list:
+def replay_on(
+    system,
+    publications: Sequence[ScheduledPublication],
+    *,
+    publishers: Mapping[Topic, Any] | None = None,
+) -> list:
     """Schedule each publication on the system's engine at its time.
 
     Works with any system exposing ``engine`` and ``publish(topic)`` (the
     daMulticast system or a baseline). Returns a list that fills with the
     published :class:`~repro.core.events.Event` objects as the simulation
     executes them — inspect it *after* running the engine.
+
+    ``publishers`` optionally pins the publishing process per topic (the
+    scenario-spec runner uses this to publish from a pre-chosen,
+    failure-protected process); topics absent from the mapping fall back
+    to the system's default alive-publisher draw.
     """
     published: list = []
 
     def _publisher(topic: Topic):
-        return lambda: published.append(system.publish(topic))
+        chosen = publishers.get(topic) if publishers is not None else None
+        return lambda: published.append(
+            system.publish(topic, publisher=chosen)
+        )
 
     # Consecutive same-time publications (e.g. a zero-spacing burst) share
     # one engine entry instead of one closure-per-event in the heap.
@@ -85,12 +114,27 @@ class PoissonSchedule:
     ):
         if not topics:
             raise ConfigError("need at least one topic")
+        # A NaN rate/horizon passes naive `<= 0` checks and then loops
+        # forever (expovariate(nan) never crosses the horizon); an infinite
+        # rate yields zero-length intervals and an unbounded schedule.
+        if not math.isfinite(rate):
+            raise ConfigError(f"rate must be finite, got {rate!r}")
         if rate <= 0:
             raise ConfigError(f"rate must be > 0, got {rate}")
+        if not math.isfinite(horizon):
+            raise ConfigError(f"horizon must be finite, got {horizon!r}")
         if horizon <= 0:
             raise ConfigError(f"horizon must be > 0, got {horizon}")
-        if weights is not None and len(weights) != len(topics):
-            raise ConfigError("weights must match topics")
+        if weights is not None:
+            if len(weights) != len(topics):
+                raise ConfigError("weights must match topics")
+            for weight in weights:
+                if not math.isfinite(weight) or weight < 0:
+                    raise ConfigError(
+                        f"weights must be finite and >= 0, got {weight!r}"
+                    )
+            if sum(weights) <= 0:
+                raise ConfigError("weights must not all be zero")
         self.topics = list(topics)
         self.rate = rate
         self.horizon = horizon

@@ -1,0 +1,1155 @@
+"""Declarative scenario specifications: a dict/JSON spec → runnable simulation.
+
+Every experiment so far is hard-coded to the §VII :class:`PaperScenario`
+shape. A :class:`ScenarioSpec` opens the scenario space declaratively by
+composing the ingredients that already exist as modules:
+
+* a **topic hierarchy** — chain, balanced tree, or explicit dotted names
+  (:mod:`repro.topics.builders`),
+* a **subscription population** — per-level counts, explicit per-topic
+  counts, uniform, or Zipf popularity (:mod:`repro.workloads.subscriptions`),
+* a **publication schedule** — single-shot, burst, Poisson, or a mixed
+  multi-topic merge of those (:mod:`repro.workloads.publications`),
+* a **failure plan** — none, stillborn, dynamic (weakly-consistent),
+  crash/recover churn, or network partitions (:mod:`repro.failures`,
+  :mod:`repro.net.partitions`),
+* **protocol parameters** — :class:`~repro.core.params.TopicParams`
+  defaults plus per-topic overrides,
+* a **protocol** — daMulticast or any baseline (broadcast, multicast,
+  hierarchical, naive publisher).
+
+A spec is a plain mapping (JSON-serializable), validated with precise
+:class:`~repro.errors.ConfigError` messages — unknown keys, out-of-domain
+values and impossible references all fail eagerly at compile time, never
+mid-simulation. :func:`compile_spec` turns it into a :class:`CompiledSpec`;
+``CompiledSpec.run(seed)`` (or the :func:`run_spec` shorthand) builds the
+static system the same way :class:`PaperScenario` does — populate groups,
+pin failure-protected publishers, install the failure/partition model,
+finalize static membership — replays the schedule, and returns the
+standard metrics dict.
+
+Determinism
+-----------
+``run_spec(spec, seed)`` is a pure function of ``(spec, seed)``: every
+random decision draws from a stream derived via
+:func:`~repro.sim.rng.derive_seed` (``spec/subscriptions``,
+``spec/publications/<i>``, ``spec/scenario``), so the same spec and seed
+give bit-identical metrics in any process. That is what makes specs
+sweepable over any field through the parallel sweep engine:
+:func:`sweep_scenario` derives per-cell seeds with the standard
+``derive_seed(master_seed, f"{label}/{point}/{j}")`` contract and is
+therefore bit-identical for every ``jobs`` count.
+
+Defaults differing from :class:`~repro.core.params.TopicParams`: specs use
+``fanout_log_base = 10`` (the paper's own simulator scale) unless
+overridden.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import hashlib
+import json
+import math
+import pathlib
+import random
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.baselines.broadcast import GossipBroadcastSystem
+from repro.baselines.hierarchical import HierarchicalGossipSystem
+from repro.baselines.multicast import GossipMulticastSystem
+from repro.baselines.naive_publisher import NaivePublisherSystem
+from repro.core.params import DaMulticastConfig, TopicParams
+from repro.core.system import DaMulticastSystem
+from repro.errors import ConfigError, ReproError
+from repro.experiments.runner import (
+    ProgressFn,
+    SweepCell,
+    SweepResult,
+    aggregate_runs,
+    grouped_progress,
+    run_cells,
+    run_sweep,
+)
+from repro.failures.churn import ChurnSchedule
+from repro.failures.dynamic import DynamicFailures
+from repro.failures.stillborn import sample_stillborn
+from repro.metrics.delivery import parasite_deliveries
+from repro.net.partitions import StaticPartition
+from repro.sim.rng import derive_seed
+from repro.topics.builders import balanced_tree, chain, from_names
+from repro.topics.hierarchy import TopicHierarchy
+from repro.topics.topic import Topic
+from repro.workloads.publications import (
+    PoissonSchedule,
+    ScheduledPublication,
+    burst_schedule,
+    replay_on,
+    single_shot,
+)
+from repro.workloads.subscriptions import (
+    populate_system,
+    uniform_subscriptions,
+    zipf_subscriptions,
+)
+
+PROTOCOLS = ("daMulticast", "broadcast", "multicast", "hierarchical", "naive")
+
+_TOP_KEYS = {
+    "name",
+    "description",
+    "protocol",
+    "topics",
+    "subscriptions",
+    "publications",
+    "failures",
+    "params",
+    "p_success",
+}
+
+#: Spec-level parameter defaults: the §VII constants with the paper's own
+#: simulator log base (see DESIGN.md faithfulness note 2).
+_PARAM_DEFAULTS: dict[str, Any] = {
+    "b": 3.0,
+    "c": 5.0,
+    "g": 5.0,
+    "a": 1.0,
+    "z": 3,
+    "tau": 1,
+    "fanout_log_base": 10.0,
+}
+
+_MISSING = object()
+
+
+# ----------------------------------------------------------------------
+# Validation primitives
+# ----------------------------------------------------------------------
+def _require_mapping(value: Any, where: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        raise ConfigError(
+            f"{where} must be a mapping, got {type(value).__name__}"
+        )
+    return value
+
+
+def _reject_unknown_keys(
+    section: Mapping, allowed: set[str], where: str
+) -> None:
+    unknown = sorted(set(section) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"{where}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _take_kind(section: Mapping, kinds: Sequence[str], where: str) -> str:
+    kind = section.get("kind")
+    if kind not in kinds:
+        raise ConfigError(
+            f"{where}: 'kind' must be one of {', '.join(kinds)}, "
+            f"got {kind!r}"
+        )
+    return kind
+
+
+def _get_number(
+    section: Mapping,
+    key: str,
+    where: str,
+    *,
+    default: Any = _MISSING,
+    minimum: float | None = None,
+    maximum: float | None = None,
+    above: float | None = None,
+    integer: bool = False,
+) -> Any:
+    value = section.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ConfigError(f"{where}: missing required key {key!r}")
+        return default
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{where}: {key} must be a number, got {value!r}")
+    if integer and not isinstance(value, int):
+        raise ConfigError(f"{where}: {key} must be an integer, got {value!r}")
+    if not math.isfinite(value):
+        raise ConfigError(f"{where}: {key} must be finite, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{where}: {key} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ConfigError(f"{where}: {key} must be <= {maximum}, got {value}")
+    if above is not None and value <= above:
+        raise ConfigError(f"{where}: {key} must be > {above}, got {value}")
+    return value
+
+
+def _get_bool(
+    section: Mapping, key: str, where: str, *, default: bool
+) -> bool:
+    value = section.get(key, _MISSING)
+    if value is _MISSING:
+        return default
+    if not isinstance(value, bool):
+        raise ConfigError(f"{where}: {key} must be a boolean, got {value!r}")
+    return value
+
+
+def _parse_topic(name: Any, where: str) -> Topic:
+    if not isinstance(name, str):
+        raise ConfigError(
+            f"{where}: topic name must be a string, got {name!r}"
+        )
+    try:
+        return Topic.parse(name)
+    except ReproError as exc:
+        raise ConfigError(f"{where}: invalid topic name {name!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Section validators (each returns nothing; compile stores the sections)
+# ----------------------------------------------------------------------
+def _validate_topics(
+    section: Mapping,
+) -> tuple[TopicHierarchy, tuple[Topic, ...], bool]:
+    """Validate the topic section; return (hierarchy, ordered topics, chain?).
+
+    Chain topics are ordered root-first (the §VII layout); any other shape
+    uses the hierarchy's canonical sorted order.
+    """
+    _require_mapping(section, "topics")
+    kind = _take_kind(section, ("chain", "tree", "names"), "topics")
+    if kind == "chain":
+        _reject_unknown_keys(section, {"kind", "depth", "prefix"}, "topics")
+        depth = _get_number(section, "depth", "topics", minimum=0, integer=True)
+        prefix = section.get("prefix", "t")
+        if not isinstance(prefix, str) or not prefix:
+            raise ConfigError(
+                f"topics: prefix must be a non-empty string, got {prefix!r}"
+            )
+        topics = chain(depth, prefix=prefix)
+        return TopicHierarchy.from_topics(topics), tuple(topics), True
+    if kind == "tree":
+        _reject_unknown_keys(section, {"kind", "arity", "depth"}, "topics")
+        arity = _get_number(section, "arity", "topics", minimum=1, integer=True)
+        depth = _get_number(section, "depth", "topics", minimum=1, integer=True)
+        hierarchy = balanced_tree(arity, depth)
+        return hierarchy, tuple(hierarchy.topics), False
+    # names
+    _reject_unknown_keys(section, {"kind", "names"}, "topics")
+    names = section.get("names")
+    if not isinstance(names, Sequence) or isinstance(names, str) or not names:
+        raise ConfigError(
+            "topics: 'names' must be a non-empty list of dotted topic names"
+        )
+    parsed = [_parse_topic(name, "topics.names") for name in names]
+    hierarchy = from_names(n.name for n in parsed)
+    return hierarchy, tuple(hierarchy.topics), False
+
+
+def _validate_subscriptions(
+    section: Mapping,
+    hierarchy: TopicHierarchy,
+    ordered_topics: tuple[Topic, ...],
+    is_chain: bool,
+) -> None:
+    _require_mapping(section, "subscriptions")
+    kind = _take_kind(
+        section, ("per_level", "explicit", "uniform", "zipf"), "subscriptions"
+    )
+    if kind == "per_level":
+        _reject_unknown_keys(section, {"kind", "counts"}, "subscriptions")
+        if not is_chain:
+            raise ConfigError(
+                "subscriptions: kind 'per_level' requires a chain topic "
+                "hierarchy; use 'explicit' counts for trees/names"
+            )
+        counts = section.get("counts")
+        if not isinstance(counts, Sequence) or isinstance(counts, str):
+            raise ConfigError(
+                "subscriptions: 'counts' must be a list of integers"
+            )
+        if len(counts) != len(ordered_topics):
+            raise ConfigError(
+                f"subscriptions: {len(counts)} counts for "
+                f"{len(ordered_topics)} chain levels; they must match"
+            )
+        for count in counts:
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ConfigError(
+                    f"subscriptions: counts must be integers, got {count!r}"
+                )
+            if count < 0:
+                raise ConfigError(
+                    f"subscriptions: counts must be >= 0, got {count}"
+                )
+        if sum(counts) < 1:
+            raise ConfigError("subscriptions: population must not be empty")
+    elif kind == "explicit":
+        _reject_unknown_keys(section, {"kind", "counts"}, "subscriptions")
+        counts = section.get("counts")
+        _require_mapping(counts, "subscriptions.counts")
+        total = 0
+        for name, count in counts.items():
+            topic = _parse_topic(name, "subscriptions.counts")
+            if topic not in hierarchy:
+                raise ConfigError(
+                    f"subscriptions.counts: topic {topic.name!r} is not in "
+                    "the declared hierarchy"
+                )
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ConfigError(
+                    f"subscriptions.counts[{name!r}] must be an integer, "
+                    f"got {count!r}"
+                )
+            if count < 0:
+                raise ConfigError(
+                    f"subscriptions.counts[{name!r}] must be >= 0, got {count}"
+                )
+            total += count
+        if total < 1:
+            raise ConfigError("subscriptions: population must not be empty")
+    elif kind == "uniform":
+        _reject_unknown_keys(
+            section, {"kind", "n", "include_root"}, "subscriptions"
+        )
+        _get_number(section, "n", "subscriptions", minimum=1, integer=True)
+        _get_bool(section, "include_root", "subscriptions", default=True)
+    else:  # zipf
+        _reject_unknown_keys(
+            section, {"kind", "n", "exponent", "include_root"}, "subscriptions"
+        )
+        _get_number(section, "n", "subscriptions", minimum=1, integer=True)
+        _get_number(section, "exponent", "subscriptions", default=1.0, minimum=0)
+        _get_bool(section, "include_root", "subscriptions", default=False)
+
+
+def _validate_topic_ref(
+    section: Mapping,
+    ordered_topics: tuple[Topic, ...],
+    hierarchy: TopicHierarchy,
+    is_chain: bool,
+    where: str,
+) -> None:
+    """One publication target: a 'topic' name or (chains only) a 'level'."""
+    if "topic" in section and "level" in section:
+        raise ConfigError(f"{where}: give 'topic' or 'level', not both")
+    if "topic" in section:
+        topic = _parse_topic(section["topic"], where)
+        if topic not in hierarchy:
+            raise ConfigError(
+                f"{where}: topic {topic.name!r} is not in the declared "
+                "hierarchy"
+            )
+    elif "level" in section:
+        if not is_chain:
+            raise ConfigError(
+                f"{where}: 'level' requires a chain topic hierarchy; "
+                "use 'topic' names for trees/names"
+            )
+        level = section["level"]
+        if isinstance(level, bool) or not isinstance(level, int):
+            raise ConfigError(
+                f"{where}: level must be an integer, got {level!r}"
+            )
+        if not -len(ordered_topics) <= level < len(ordered_topics):
+            raise ConfigError(
+                f"{where}: level {level} out of range for a chain of "
+                f"{len(ordered_topics)} levels"
+            )
+
+
+def _validate_publications(
+    section: Mapping,
+    ordered_topics: tuple[Topic, ...],
+    hierarchy: TopicHierarchy,
+    is_chain: bool,
+    where: str = "publications",
+    allow_mixed: bool = True,
+) -> None:
+    _require_mapping(section, where)
+    kinds = ("single", "burst", "poisson") + (("mixed",) if allow_mixed else ())
+    kind = _take_kind(section, kinds, where)
+    if kind == "single":
+        _reject_unknown_keys(section, {"kind", "topic", "level", "at"}, where)
+        _validate_topic_ref(section, ordered_topics, hierarchy, is_chain, where)
+        _get_number(section, "at", where, default=0.0, minimum=0)
+    elif kind == "burst":
+        _reject_unknown_keys(
+            section, {"kind", "topic", "level", "count", "start", "spacing"}, where
+        )
+        _validate_topic_ref(section, ordered_topics, hierarchy, is_chain, where)
+        _get_number(section, "count", where, minimum=1, integer=True)
+        _get_number(section, "start", where, default=0.0, minimum=0)
+        _get_number(section, "spacing", where, default=0.0, minimum=0)
+    elif kind == "poisson":
+        _reject_unknown_keys(
+            section,
+            {"kind", "topics", "levels", "weights", "rate", "horizon"},
+            where,
+        )
+        _get_number(section, "rate", where, above=0)
+        _get_number(section, "horizon", where, above=0)
+        if "topics" in section and "levels" in section:
+            raise ConfigError(f"{where}: give 'topics' or 'levels', not both")
+        n_targets = None
+        if "topics" in section:
+            names = section["topics"]
+            if not isinstance(names, Sequence) or isinstance(names, str) or not names:
+                raise ConfigError(
+                    f"{where}: 'topics' must be a non-empty list of names"
+                )
+            for name in names:
+                _validate_topic_ref(
+                    {"topic": name}, ordered_topics, hierarchy, is_chain, where
+                )
+            n_targets = len(names)
+        elif "levels" in section:
+            levels = section["levels"]
+            if not isinstance(levels, Sequence) or not levels:
+                raise ConfigError(
+                    f"{where}: 'levels' must be a non-empty list of integers"
+                )
+            for level in levels:
+                _validate_topic_ref(
+                    {"level": level}, ordered_topics, hierarchy, is_chain, where
+                )
+            n_targets = len(levels)
+        if "weights" in section:
+            weights = section["weights"]
+            if n_targets is None:
+                raise ConfigError(
+                    f"{where}: 'weights' requires explicit 'topics' or 'levels'"
+                )
+            if not isinstance(weights, Sequence) or len(weights) != n_targets:
+                raise ConfigError(
+                    f"{where}: 'weights' must list one weight per target"
+                )
+            for weight in weights:
+                if (
+                    isinstance(weight, bool)
+                    or not isinstance(weight, (int, float))
+                    or not math.isfinite(weight)
+                    or weight < 0
+                ):
+                    raise ConfigError(
+                        f"{where}: weights must be finite numbers >= 0, "
+                        f"got {weight!r}"
+                    )
+            if sum(weights) <= 0:
+                raise ConfigError(f"{where}: weights must not all be zero")
+    else:  # mixed
+        _reject_unknown_keys(section, {"kind", "parts"}, where)
+        parts = section.get("parts")
+        if not isinstance(parts, Sequence) or isinstance(parts, str) or not parts:
+            raise ConfigError(
+                f"{where}: 'parts' must be a non-empty list of schedules"
+            )
+        for index, part in enumerate(parts):
+            _validate_publications(
+                part,
+                ordered_topics,
+                hierarchy,
+                is_chain,
+                where=f"{where}.parts[{index}]",
+                allow_mixed=False,
+            )
+
+
+def _validate_failures(section: Mapping) -> None:
+    _require_mapping(section, "failures")
+    kind = _take_kind(
+        section,
+        ("none", "stillborn", "dynamic", "churn", "partition"),
+        "failures",
+    )
+    if kind == "none":
+        _reject_unknown_keys(section, {"kind"}, "failures")
+    elif kind == "stillborn":
+        _reject_unknown_keys(section, {"kind", "alive_fraction"}, "failures")
+        _get_number(
+            section, "alive_fraction", "failures", minimum=0.0, maximum=1.0
+        )
+    elif kind == "dynamic":
+        _reject_unknown_keys(
+            section, {"kind", "alive_fraction", "mode"}, "failures"
+        )
+        _get_number(
+            section, "alive_fraction", "failures", minimum=0.0, maximum=1.0
+        )
+        mode = section.get("mode", "per_attempt")
+        if mode not in ("per_attempt", "per_pair"):
+            raise ConfigError(
+                "failures: dynamic mode must be 'per_attempt' or "
+                f"'per_pair', got {mode!r}"
+            )
+    elif kind == "churn":
+        _reject_unknown_keys(
+            section,
+            {"kind", "crash_probability", "recover_probability", "horizon"},
+            "failures",
+        )
+        _get_number(
+            section, "crash_probability", "failures", minimum=0.0, maximum=1.0
+        )
+        _get_number(
+            section,
+            "recover_probability",
+            "failures",
+            default=0.5,
+            minimum=0.0,
+            maximum=1.0,
+        )
+        _get_number(section, "horizon", "failures", above=0)
+    else:  # partition
+        _reject_unknown_keys(
+            section, {"kind", "islands", "heals_at"}, "failures"
+        )
+        islands = section.get("islands", _MISSING)
+        if islands is _MISSING:
+            raise ConfigError("failures: missing required key 'islands'")
+        if islands != "by_topic" and (
+            isinstance(islands, bool)
+            or not isinstance(islands, int)
+            or islands < 2
+        ):
+            raise ConfigError(
+                "failures: 'islands' must be an integer >= 2 (random "
+                f"assignment) or 'by_topic', got {islands!r}"
+            )
+        if section.get("heals_at") is not None:
+            _get_number(section, "heals_at", "failures", minimum=0)
+
+
+def _validate_params(
+    section: Mapping, protocol: str
+) -> tuple[TopicParams, dict[Topic, TopicParams]]:
+    _require_mapping(section, "params")
+    allowed = set(_PARAM_DEFAULTS) | {"overrides"}
+    _reject_unknown_keys(section, allowed, "params")
+    merged = dict(_PARAM_DEFAULTS)
+    for key in _PARAM_DEFAULTS:
+        if key in section:
+            merged[key] = _get_number(
+                section, key, "params", integer=key in ("z", "tau")
+            )
+    try:
+        defaults = TopicParams(**merged)
+    except ConfigError as exc:
+        raise ConfigError(f"params: {exc}") from exc
+    overrides: dict[Topic, TopicParams] = {}
+    if "overrides" in section:
+        if protocol != "daMulticast":
+            raise ConfigError(
+                "params.overrides: per-topic overrides require protocol "
+                f"'daMulticast', got {protocol!r}"
+            )
+        override_map = _require_mapping(section["overrides"], "params.overrides")
+        for name, fields in override_map.items():
+            topic = _parse_topic(name, "params.overrides")
+            where = f"params.overrides[{name!r}]"
+            fields = _require_mapping(fields, where)
+            _reject_unknown_keys(fields, set(_PARAM_DEFAULTS), where)
+            patch = {
+                key: _get_number(
+                    fields, key, where, integer=key in ("z", "tau")
+                )
+                for key in _PARAM_DEFAULTS
+                if key in fields
+            }
+            try:
+                overrides[topic] = replace(defaults, **patch)
+            except ConfigError as exc:
+                raise ConfigError(f"{where}: {exc}") from exc
+    return defaults, overrides
+
+
+def _validate_protocol(value: Any) -> tuple[str, dict[str, Any]]:
+    if value is None:
+        return "daMulticast", {}
+    if isinstance(value, str):
+        name, options = value, {}
+    elif isinstance(value, Mapping):
+        _reject_unknown_keys(value, {"name", "n_clusters"}, "protocol")
+        name = value.get("name")
+        options = {k: v for k, v in value.items() if k != "name"}
+    else:
+        raise ConfigError(
+            f"protocol must be a string or a mapping, got {value!r}"
+        )
+    if name not in PROTOCOLS:
+        raise ConfigError(
+            f"protocol must be one of {', '.join(PROTOCOLS)}, got {name!r}"
+        )
+    if options and name != "hierarchical":
+        raise ConfigError(
+            f"protocol: options {sorted(options)} are only valid for "
+            "'hierarchical'"
+        )
+    if "n_clusters" in options:
+        _get_number(options, "n_clusters", "protocol", minimum=2, integer=True)
+    return name, options
+
+
+# ----------------------------------------------------------------------
+# The compiled spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompiledSpec:
+    """A validated scenario spec, ready to build per-seed simulations.
+
+    ``spec`` is a deep copy of the input mapping — plain data, picklable,
+    so sweep workers can re-compile it locally (compilation is cheap and
+    workers never receive live objects).
+    """
+
+    spec: dict
+    name: str
+    description: str
+    protocol: str
+    protocol_options: dict
+    hierarchy: TopicHierarchy
+    ordered_topics: tuple[Topic, ...]
+    is_chain: bool
+    params: TopicParams
+    overrides: dict[Topic, TopicParams]
+    p_success: float
+
+    # ------------------------------------------------------------------
+    # Per-seed realization
+    # ------------------------------------------------------------------
+    def _population(self, seed: int) -> dict[Topic, int]:
+        section = self.spec["subscriptions"]
+        kind = section["kind"]
+        if kind == "per_level":
+            return dict(zip(self.ordered_topics, section["counts"]))
+        if kind == "explicit":
+            return {
+                Topic.parse(name): count
+                for name, count in sorted(section["counts"].items())
+            }
+        rng = random.Random(derive_seed(seed, "spec/subscriptions"))
+        if kind == "uniform":
+            return uniform_subscriptions(
+                self.hierarchy,
+                section["n"],
+                rng,
+                include_root=section.get("include_root", True),
+            )
+        return zipf_subscriptions(
+            self.hierarchy,
+            section["n"],
+            rng,
+            exponent=section.get("exponent", 1.0),
+            include_root=section.get("include_root", False),
+        )
+
+    def _resolve_target(
+        self, section: Mapping, counts: Mapping[Topic, int], where: str
+    ) -> Topic:
+        if "topic" in section:
+            topic = Topic.parse(section["topic"])
+        elif "level" in section:
+            topic = self.ordered_topics[section["level"]]
+        else:
+            populated = [t for t, c in counts.items() if c > 0]
+            topic = max(populated, key=lambda t: (t.depth, t.name))
+        if counts.get(topic, 0) < 1:
+            raise ConfigError(
+                f"{where}: publication topic {topic.name!r} has no "
+                "subscribers under this population"
+            )
+        return topic
+
+    def _realize_schedule(
+        self,
+        section: Mapping,
+        seed: int,
+        counts: Mapping[Topic, int],
+        stream: str,
+        where: str,
+    ) -> list[ScheduledPublication]:
+        kind = section["kind"]
+        if kind == "single":
+            topic = self._resolve_target(section, counts, where)
+            return single_shot(topic, at=section.get("at", 0.0))
+        if kind == "burst":
+            topic = self._resolve_target(section, counts, where)
+            return burst_schedule(
+                topic,
+                count=section["count"],
+                start=section.get("start", 0.0),
+                spacing=section.get("spacing", 0.0),
+            )
+        if kind == "poisson":
+            if "topics" in section:
+                topics = [
+                    self._resolve_target({"topic": name}, counts, where)
+                    for name in section["topics"]
+                ]
+            elif "levels" in section:
+                topics = [
+                    self._resolve_target({"level": level}, counts, where)
+                    for level in section["levels"]
+                ]
+            else:
+                topics = sorted(t for t, c in counts.items() if c > 0)
+            schedule = PoissonSchedule(
+                topics,
+                rate=section["rate"],
+                horizon=section["horizon"],
+                weights=section.get("weights"),
+            )
+            return schedule.generate(random.Random(derive_seed(seed, stream)))
+        # mixed: realize every part on its own stream, merge time-sorted
+        merged: list[ScheduledPublication] = []
+        for index, part in enumerate(section["parts"]):
+            merged.extend(
+                self._realize_schedule(
+                    part,
+                    seed,
+                    counts,
+                    stream=f"{stream}/{index}",
+                    where=f"{where}.parts[{index}]",
+                )
+            )
+        merged.sort(key=lambda publication: publication.time)
+        return merged
+
+    def _make_system(self, seed: int, counts: Mapping[Topic, int]):
+        if self.protocol == "daMulticast":
+            config = DaMulticastConfig(
+                default_params=self.params, overrides=dict(self.overrides)
+            )
+            return DaMulticastSystem(
+                config=config,
+                seed=seed,
+                p_success=self.p_success,
+                mode="static",
+            )
+        common = dict(
+            seed=seed,
+            p_success=self.p_success,
+            b=self.params.b,
+            c=self.params.c,
+            log_base=self.params.fanout_log_base,
+        )
+        if self.protocol == "broadcast":
+            return GossipBroadcastSystem(**common)
+        if self.protocol == "multicast":
+            return GossipMulticastSystem(**common)
+        if self.protocol == "naive":
+            return NaivePublisherSystem(**common)
+        total = sum(counts.values())
+        n_clusters = self.protocol_options.get(
+            "n_clusters", max(2, round(total**0.5 / 3))
+        )
+        return HierarchicalGossipSystem(n_clusters=n_clusters, **common)
+
+    def _apply_failures(
+        self,
+        system,
+        publishers: Mapping[Topic, Any],
+        counts: Mapping[Topic, int],
+        rng: random.Random,
+    ) -> None:
+        section = self.spec.get("failures", {"kind": "none"})
+        kind = section["kind"]
+        if kind == "none":
+            return
+        network = system.harness.network
+        all_pids = [process.pid for process in system.processes]
+        protected = sorted({process.pid for process in publishers.values()})
+        if kind == "stillborn":
+            network.failure_model = sample_stillborn(
+                all_pids,
+                section["alive_fraction"],
+                rng,
+                protected=protected,
+            )
+        elif kind == "dynamic":
+            network.failure_model = DynamicFailures(
+                fail_probability=1.0 - section["alive_fraction"],
+                mode=section.get("mode", "per_attempt"),
+            )
+        elif kind == "churn":
+            candidates = [pid for pid in all_pids if pid not in set(protected)]
+            network.failure_model = ChurnSchedule.random_churn(
+                candidates,
+                rng,
+                crash_probability=section["crash_probability"],
+                horizon=section["horizon"],
+                recover_probability=section.get("recover_probability", 0.5),
+            )
+        else:  # partition
+            islands_spec = section["islands"]
+            if islands_spec == "by_topic":
+                islands = [
+                    [process.pid for process in _members(system, topic)]
+                    for topic in sorted(counts)
+                    if counts[topic] > 0
+                ]
+            else:
+                assignment = {
+                    pid: rng.randrange(islands_spec) for pid in all_pids
+                }
+                islands = [
+                    [pid for pid in all_pids if assignment[pid] == index]
+                    for index in range(islands_spec)
+                ]
+            network.partition_model = StaticPartition(
+                islands, heals_at=section.get("heals_at")
+            )
+
+    def build(self, seed: int) -> "BuiltScenario":
+        """Assemble the ready-to-run simulation for one seed."""
+        counts = self._population(seed)
+        system = self._make_system(seed, counts)
+        populate_system(system, counts)
+        schedule = self._realize_schedule(
+            self.spec.get("publications", {"kind": "single"}),
+            seed,
+            counts,
+            stream="spec/publications",
+            where="publications",
+        )
+        scenario_rng = random.Random(derive_seed(seed, "spec/scenario"))
+        publishers = {
+            topic: scenario_rng.choice(_members(system, topic))
+            for topic in sorted({publication.topic for publication in schedule})
+        }
+        self._apply_failures(system, publishers, counts, scenario_rng)
+        if self.protocol == "daMulticast":
+            system.finalize_static_membership()
+        else:
+            system.finalize_membership()
+        return BuiltScenario(
+            compiled=self,
+            seed=seed,
+            system=system,
+            counts=counts,
+            schedule=schedule,
+            publishers=publishers,
+        )
+
+    def run(self, seed: int) -> dict[str, float]:
+        """Build, replay the schedule to quiescence, return metrics."""
+        return self.build(seed).execute()
+
+
+def _members(system, topic: Topic) -> list:
+    """Processes subscribed to exactly ``topic`` on either system family."""
+    if hasattr(system, "subscribers_of"):
+        return system.subscribers_of(topic)
+    return system.group(topic)
+
+
+@dataclass
+class BuiltScenario:
+    """A built spec plus the handles examples and metrics need."""
+
+    compiled: CompiledSpec
+    seed: int
+    system: Any
+    counts: dict[Topic, int]
+    schedule: list[ScheduledPublication]
+    publishers: dict[Topic, Any]
+    published: list = field(default_factory=list)
+    executed: bool = False
+
+    def execute(self) -> dict[str, float]:
+        """Replay the publication schedule to quiescence; return metrics."""
+        if self.executed:
+            raise ConfigError(
+                "scenario already executed; build a fresh one to re-run"
+            )
+        self.published = replay_on(
+            self.system, self.schedule, publishers=self.publishers
+        )
+        self.system.run_until_idle()
+        self.executed = True
+        return self.metrics()
+
+    def metrics(self) -> dict[str, float]:
+        """The standard scenario metrics dict (all values floats).
+
+        Keys are population-independent so repeated runs of one spec always
+        aggregate cleanly (``aggregate_runs`` requires identical key sets).
+        """
+        system = self.system
+        events = len(self.published)
+        event_messages = float(system.stats.event_messages_sent())
+        alive_fractions: list[float] = []
+        all_fractions: list[float] = []
+        for event in self.published:
+            alive_fractions.append(
+                system.delivered_fraction(event, event.topic, alive_only=True)
+            )
+            all_fractions.append(
+                system.delivered_fraction(event, event.topic, alive_only=False)
+            )
+        parasites = parasite_deliveries(system.tracker, system.interests())
+        return {
+            "events": float(events),
+            "event_messages": event_messages,
+            "messages_per_event": event_messages / events if events else 0.0,
+            "mean_delivery": (
+                statistics.fmean(alive_fractions) if alive_fractions else 1.0
+            ),
+            "min_delivery": min(alive_fractions) if alive_fractions else 1.0,
+            "mean_delivery_all": (
+                statistics.fmean(all_fractions) if all_fractions else 1.0
+            ),
+            "parasites": float(parasites),
+            "processes": float(len(system.processes)),
+            "subscribed_topics": float(
+                sum(1 for count in self.counts.values() if count > 0)
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# Compilation entry point
+# ----------------------------------------------------------------------
+def compile_spec(spec: Mapping) -> CompiledSpec:
+    """Validate ``spec`` and return a :class:`CompiledSpec`.
+
+    Every structural or domain problem raises a :class:`ConfigError`
+    naming the offending section, key and value.
+    """
+    _require_mapping(spec, "spec")
+    _reject_unknown_keys(spec, _TOP_KEYS, "spec")
+    if "topics" not in spec:
+        raise ConfigError("spec: missing required section 'topics'")
+    if "subscriptions" not in spec:
+        raise ConfigError("spec: missing required section 'subscriptions'")
+    name = spec.get("name", "unnamed")
+    if not isinstance(name, str) or not name:
+        raise ConfigError(f"spec: 'name' must be a non-empty string, got {name!r}")
+    description = spec.get("description", "")
+    if not isinstance(description, str):
+        raise ConfigError("spec: 'description' must be a string")
+
+    protocol, protocol_options = _validate_protocol(spec.get("protocol"))
+    hierarchy, ordered_topics, is_chain = _validate_topics(spec["topics"])
+    _validate_subscriptions(
+        spec["subscriptions"], hierarchy, ordered_topics, is_chain
+    )
+    _validate_publications(
+        spec.get("publications", {"kind": "single"}),
+        ordered_topics,
+        hierarchy,
+        is_chain,
+    )
+    _validate_failures(spec.get("failures", {"kind": "none"}))
+    params, overrides = _validate_params(spec.get("params", {}), protocol)
+    p_success = _get_number(
+        spec, "p_success", "spec", default=1.0, minimum=0.0, maximum=1.0
+    )
+
+    normalized = copy.deepcopy(dict(spec))
+    normalized.setdefault("publications", {"kind": "single"})
+    normalized.setdefault("failures", {"kind": "none"})
+    return CompiledSpec(
+        spec=normalized,
+        name=name,
+        description=description,
+        protocol=protocol,
+        protocol_options=dict(protocol_options),
+        hierarchy=hierarchy,
+        ordered_topics=ordered_topics,
+        is_chain=is_chain,
+        params=params,
+        overrides=overrides,
+        p_success=float(p_success),
+    )
+
+
+def run_spec(spec: Mapping, seed: int = 0) -> dict[str, float]:
+    """Compile, build and run ``spec`` for one seed; a pure function of
+    ``(spec, seed)`` — same inputs, bit-identical metrics, any process."""
+    return compile_spec(spec).run(seed)
+
+
+# ----------------------------------------------------------------------
+# Spec manipulation, digests, loading
+# ----------------------------------------------------------------------
+def spec_with(spec: Mapping, path: str, value: Any) -> dict:
+    """A deep copy of ``spec`` with the dotted ``path`` set to ``value``.
+
+    Paths address nested mappings (``"failures.alive_fraction"``);
+    missing intermediate mappings are created, so sweeping a field of an
+    absent optional section still works (validation of the completed
+    section happens at compile time).
+    """
+    parts = path.split(".")
+    if not path or any(not part for part in parts):
+        raise ConfigError(f"invalid spec path {path!r}")
+    result = copy.deepcopy(dict(spec))
+    node = result
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        elif not isinstance(child, dict):
+            raise ConfigError(
+                f"spec path {path!r}: {part!r} is not a mapping"
+            )
+        node = child
+    node[parts[-1]] = value
+    return result
+
+
+def metrics_digest(metrics) -> str:
+    """SHA-256 hex digest of a metrics dict (or list of them).
+
+    Canonical JSON (sorted keys, no whitespace), so two runs digest
+    equal iff their metrics are bit-identical.
+    """
+    payload = json.dumps(
+        metrics, sort_keys=True, separators=(",", ":"), default=float
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def load_spec(ref: str) -> dict:
+    """Load a spec from a JSON file path or a bundled preset name."""
+    path = pathlib.Path(ref)
+    if path.suffix == ".json" or path.is_file():
+        if not path.is_file():
+            raise ConfigError(f"spec file {ref!r} not found")
+        try:
+            loaded = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"spec file {ref!r} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(loaded, dict):
+            raise ConfigError(
+                f"spec file {ref!r} must contain a JSON object"
+            )
+        return loaded
+    from repro.workloads.presets import load_preset
+
+    return load_preset(ref)
+
+
+# ----------------------------------------------------------------------
+# Repetition and sweeping (bit-identical for any jobs count)
+# ----------------------------------------------------------------------
+def _scenario_cell(_run_index: int, seed: int, *, spec: dict) -> dict[str, float]:
+    return run_spec(spec, seed)
+
+
+def run_scenario(
+    spec: Mapping,
+    *,
+    runs: int = 1,
+    master_seed: int = 0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+    label: str | None = None,
+) -> list[dict[str, float]]:
+    """Run ``spec`` ``runs`` times with derived seeds; per-run metrics.
+
+    Run ``j`` uses ``derive_seed(master_seed, f"{label}/{j}")``; cells fan
+    out over ``jobs`` worker processes and the result list is identical
+    for any ``jobs`` count. Aggregate with
+    :func:`~repro.experiments.runner.aggregate_runs`.
+    """
+    compiled = compile_spec(spec)
+    if runs < 1:
+        raise ConfigError(f"runs must be >= 1, got {runs}")
+    label = label or f"scenario/{compiled.name}"
+    cells = [
+        SweepCell(arg=j, seed_name=f"{label}/{j}", describe=f"run={j}")
+        for j in range(runs)
+    ]
+    return run_cells(
+        functools.partial(_scenario_cell, spec=compiled.spec),
+        cells,
+        master_seed=master_seed,
+        jobs=jobs,
+        on_result=grouped_progress(progress, [float(j) for j in range(runs)], 1),
+    )
+
+
+def _sweep_spec_cell(
+    value: Any, seed: int, *, spec: dict, sweep_field: str
+) -> dict[str, float]:
+    return run_spec(spec_with(spec, sweep_field, value), seed)
+
+
+def sweep_scenario(
+    spec: Mapping,
+    sweep_field: str,
+    values: Sequence[Any],
+    *,
+    runs: int = 3,
+    master_seed: int = 0,
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+    label: str | None = None,
+) -> SweepResult:
+    """Sweep ``spec`` over any dotted field; aggregated metrics per value.
+
+    Numeric grids go through :func:`~repro.experiments.runner.run_sweep`
+    unchanged; non-numeric values (protocol names, failure kinds, ...) use
+    the same cell scheduler and the identical ``{label}/{value}/{j}`` seed
+    naming, so both paths are bit-identical across ``jobs`` counts.
+    """
+    if not values:
+        raise ConfigError("sweep values must not be empty")
+    if runs < 1:
+        raise ConfigError(f"runs must be >= 1, got {runs}")
+    base = copy.deepcopy(dict(spec))
+    # Validate every point spec eagerly in the parent: a typo'd field or a
+    # bad value should fail before any worker spins up.
+    for value in values:
+        compile_spec(spec_with(base, sweep_field, value))
+    name = base.get("name", "spec")
+    label = label or f"scenario/{name}/{sweep_field}"
+    run = functools.partial(_sweep_spec_cell, spec=base, sweep_field=sweep_field)
+    numeric = all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in values
+    )
+    if numeric:
+        return run_sweep(
+            run,
+            list(values),
+            runs=runs,
+            master_seed=master_seed,
+            label=label,
+            jobs=jobs,
+            progress=progress,
+        )
+    cells = [
+        SweepCell(
+            arg=value,
+            seed_name=f"{label}/{value}/{j}",
+            describe=f"point={value!r}, run={j}",
+        )
+        for value in values
+        for j in range(runs)
+    ]
+    samples = run_cells(
+        run,
+        cells,
+        master_seed=master_seed,
+        jobs=jobs,
+        on_result=grouped_progress(progress, list(values), runs),
+    )
+    result = SweepResult(runs=runs)
+    for index, value in enumerate(values):
+        means, stds = aggregate_runs(samples[index * runs : (index + 1) * runs])
+        result.points.append(value)
+        for key, mean in means.items():
+            result.means.setdefault(key, []).append(mean)
+        for key, std in stds.items():
+            result.stds.setdefault(key, []).append(std)
+    return result

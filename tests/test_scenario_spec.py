@@ -1,0 +1,534 @@
+"""Tests for the declarative scenario-spec subsystem.
+
+Covers: precise ConfigError validation (unknown keys, bad distributions,
+negative rates, impossible references), seed determinism (same spec + seed
+⇒ identical metrics digest across serial and ``jobs=2``), bundled preset
+integrity (every preset runs end-to-end and is bit-identical across CLI
+``--jobs 1`` / ``--jobs 2``), and the spec-manipulation helpers.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.workloads.presets import load_preset, preset_names
+from repro.workloads.spec import (
+    compile_spec,
+    load_spec,
+    metrics_digest,
+    run_scenario,
+    run_spec,
+    spec_with,
+    sweep_scenario,
+)
+
+SMALL = {
+    "name": "small",
+    "topics": {"kind": "chain", "depth": 2, "prefix": "t"},
+    "subscriptions": {"kind": "per_level", "counts": [3, 8, 20]},
+    "publications": {"kind": "single", "level": -1},
+    "failures": {"kind": "stillborn", "alive_fraction": 0.7},
+    "params": {"b": 3, "c": 5, "g": 5, "a": 1, "z": 3, "fanout_log_base": 10},
+    "p_success": 0.85,
+}
+
+
+def small(**patches) -> dict:
+    """SMALL with top-level sections replaced."""
+    spec = copy.deepcopy(SMALL)
+    spec.update(patches)
+    return spec
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ConfigError, match="unknown key.*'fauilures'"):
+            compile_spec(small(fauilures={"kind": "none"}))
+
+    def test_missing_topics(self):
+        spec = small()
+        del spec["topics"]
+        with pytest.raises(ConfigError, match="missing required section 'topics'"):
+            compile_spec(spec)
+
+    def test_unknown_topics_kind(self):
+        with pytest.raises(ConfigError, match="topics: 'kind'"):
+            compile_spec(small(topics={"kind": "ring", "size": 5}))
+
+    def test_unknown_subscription_key(self):
+        with pytest.raises(ConfigError, match="subscriptions: unknown key"):
+            compile_spec(
+                small(
+                    subscriptions={"kind": "zipf", "n": 10, "alpha": 2.0}
+                )
+            )
+
+    def test_per_level_requires_chain(self):
+        with pytest.raises(ConfigError, match="per_level.*chain"):
+            compile_spec(
+                small(
+                    topics={"kind": "tree", "arity": 2, "depth": 2},
+                    publications={"kind": "single", "topic": ".s0"},
+                )
+            )
+
+    def test_per_level_count_mismatch(self):
+        with pytest.raises(ConfigError, match="2 counts for 3 chain levels"):
+            compile_spec(
+                small(subscriptions={"kind": "per_level", "counts": [3, 8]})
+            )
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigError, match="counts must be >= 0"):
+            compile_spec(
+                small(
+                    subscriptions={"kind": "per_level", "counts": [3, -1, 20]}
+                )
+            )
+
+    def test_zipf_negative_exponent(self):
+        with pytest.raises(ConfigError, match="exponent must be >= 0"):
+            compile_spec(
+                small(
+                    subscriptions={"kind": "zipf", "n": 50, "exponent": -0.5}
+                )
+            )
+
+    def test_explicit_topic_outside_hierarchy(self):
+        with pytest.raises(ConfigError, match="not in.*hierarchy"):
+            compile_spec(
+                small(
+                    subscriptions={
+                        "kind": "explicit",
+                        "counts": {".unrelated": 5},
+                    }
+                )
+            )
+
+    def test_burst_zero_count(self):
+        with pytest.raises(ConfigError, match="count must be >= 1"):
+            compile_spec(
+                small(publications={"kind": "burst", "level": -1, "count": 0})
+            )
+
+    def test_burst_negative_start(self):
+        with pytest.raises(ConfigError, match="start must be >= 0"):
+            compile_spec(
+                small(
+                    publications={
+                        "kind": "burst",
+                        "level": -1,
+                        "count": 3,
+                        "start": -1.0,
+                    }
+                )
+            )
+
+    def test_poisson_negative_rate(self):
+        with pytest.raises(ConfigError, match="rate must be > 0"):
+            compile_spec(
+                small(
+                    publications={
+                        "kind": "poisson",
+                        "rate": -2.0,
+                        "horizon": 10.0,
+                    }
+                )
+            )
+
+    def test_poisson_non_finite_rate(self):
+        with pytest.raises(ConfigError, match="rate must be finite"):
+            compile_spec(
+                small(
+                    publications={
+                        "kind": "poisson",
+                        "rate": float("inf"),
+                        "horizon": 10.0,
+                    }
+                )
+            )
+
+    def test_poisson_nan_horizon(self):
+        with pytest.raises(ConfigError, match="horizon must be finite"):
+            compile_spec(
+                small(
+                    publications={
+                        "kind": "poisson",
+                        "rate": 1.0,
+                        "horizon": float("nan"),
+                    }
+                )
+            )
+
+    def test_poisson_weights_without_targets(self):
+        with pytest.raises(ConfigError, match="weights.*requires explicit"):
+            compile_spec(
+                small(
+                    publications={
+                        "kind": "poisson",
+                        "rate": 1.0,
+                        "horizon": 5.0,
+                        "weights": [1.0, 2.0],
+                    }
+                )
+            )
+
+    def test_mixed_rejects_nested_mixed(self):
+        with pytest.raises(ConfigError, match=r"parts\[0\]: 'kind'"):
+            compile_spec(
+                small(
+                    publications={
+                        "kind": "mixed",
+                        "parts": [{"kind": "mixed", "parts": []}],
+                    }
+                )
+            )
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ConfigError, match="level 7 out of range"):
+            compile_spec(small(publications={"kind": "single", "level": 7}))
+
+    def test_level_requires_chain(self):
+        with pytest.raises(ConfigError, match="'level' requires a chain"):
+            compile_spec(
+                small(
+                    topics={"kind": "names", "names": [".a.b"]},
+                    subscriptions={
+                        "kind": "explicit",
+                        "counts": {".a.b": 10},
+                    },
+                    publications={"kind": "single", "level": -1},
+                )
+            )
+
+    def test_unknown_failure_kind(self):
+        with pytest.raises(ConfigError, match="failures: 'kind'"):
+            compile_spec(small(failures={"kind": "meteor"}))
+
+    def test_alive_fraction_out_of_range(self):
+        with pytest.raises(ConfigError, match="alive_fraction must be <= 1"):
+            compile_spec(
+                small(failures={"kind": "stillborn", "alive_fraction": 1.5})
+            )
+
+    def test_partition_single_island(self):
+        with pytest.raises(ConfigError, match="'islands' must be an integer >= 2"):
+            compile_spec(small(failures={"kind": "partition", "islands": 1}))
+
+    def test_churn_requires_horizon(self):
+        with pytest.raises(ConfigError, match="missing required key 'horizon'"):
+            compile_spec(
+                small(failures={"kind": "churn", "crash_probability": 0.5})
+            )
+
+    def test_params_unknown_key(self):
+        with pytest.raises(ConfigError, match="params: unknown key"):
+            compile_spec(small(params={"b": 3, "beta": 2}))
+
+    def test_params_domain_error(self):
+        with pytest.raises(ConfigError, match="params: .*a <= z"):
+            compile_spec(small(params={"a": 5, "z": 2}))
+
+    def test_overrides_require_damulticast(self):
+        with pytest.raises(ConfigError, match="overrides require protocol"):
+            compile_spec(
+                small(
+                    protocol="broadcast",
+                    params={"overrides": {".t1": {"c": 6}}},
+                )
+            )
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigError, match="protocol must be one of"):
+            compile_spec(small(protocol="carrier-pigeon"))
+
+    def test_protocol_options_only_for_hierarchical(self):
+        with pytest.raises(ConfigError, match="only valid for 'hierarchical'"):
+            compile_spec(
+                small(protocol={"name": "broadcast", "n_clusters": 4})
+            )
+
+    def test_p_success_out_of_range(self):
+        with pytest.raises(ConfigError, match="p_success must be <= 1"):
+            compile_spec(small(p_success=1.2))
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError, match="unknown preset"):
+            load_spec("definitely-not-a-preset")
+
+    def test_publication_topic_without_subscribers(self):
+        spec = small(
+            subscriptions={"kind": "per_level", "counts": [3, 8, 0]},
+            publications={"kind": "single", "level": -1},
+        )
+        with pytest.raises(ConfigError, match="has no subscribers"):
+            run_spec(spec, seed=0)
+
+
+class TestSpecWith:
+    def test_sets_nested_field(self):
+        modified = spec_with(SMALL, "failures.alive_fraction", 0.5)
+        assert modified["failures"]["alive_fraction"] == 0.5
+        assert SMALL["failures"]["alive_fraction"] == 0.7  # original intact
+
+    def test_creates_missing_sections(self):
+        spec = small()
+        del spec["failures"]
+        modified = spec_with(spec, "failures.kind", "none")
+        assert modified["failures"] == {"kind": "none"}
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ConfigError, match="invalid spec path"):
+            spec_with(SMALL, "failures..kind", 1)
+
+    def test_rejects_non_mapping_intermediate(self):
+        with pytest.raises(ConfigError, match="is not a mapping"):
+            spec_with(SMALL, "name.sub", 1)
+
+
+class TestDeterminism:
+    def test_same_spec_same_seed_same_metrics(self):
+        assert run_spec(SMALL, seed=7) == run_spec(SMALL, seed=7)
+
+    def test_different_seeds_differ(self):
+        digest_a = metrics_digest(run_spec(SMALL, seed=0))
+        digest_b = metrics_digest(run_spec(SMALL, seed=1))
+        assert digest_a != digest_b
+
+    def test_run_scenario_bit_identical_across_jobs(self):
+        serial = run_scenario(SMALL, runs=4, master_seed=3, jobs=1)
+        parallel = run_scenario(SMALL, runs=4, master_seed=3, jobs=2)
+        assert serial == parallel
+        assert metrics_digest(serial) == metrics_digest(parallel)
+
+    def test_numeric_sweep_bit_identical_across_jobs(self):
+        kwargs = dict(runs=2, master_seed=0)
+        serial = sweep_scenario(
+            SMALL, "failures.alive_fraction", [0.5, 1.0], jobs=1, **kwargs
+        )
+        parallel = sweep_scenario(
+            SMALL, "failures.alive_fraction", [0.5, 1.0], jobs=2, **kwargs
+        )
+        assert serial.points == parallel.points
+        assert serial.means == parallel.means
+        assert serial.stds == parallel.stds
+
+    def test_non_numeric_sweep_over_protocol(self):
+        result = sweep_scenario(
+            SMALL, "protocol", ["daMulticast", "broadcast"], runs=1
+        )
+        assert result.points == ["daMulticast", "broadcast"]
+        # broadcast floods everyone from one global group: more messages.
+        messages = result.means["event_messages"]
+        assert messages[1] > messages[0] * 0.5  # both ran and produced data
+        parallel = sweep_scenario(
+            SMALL, "protocol", ["daMulticast", "broadcast"], runs=1, jobs=2
+        )
+        assert parallel.means == result.means
+
+    def test_sweep_validates_every_point_eagerly(self):
+        with pytest.raises(ConfigError, match="alive_fraction must be <= 1"):
+            sweep_scenario(SMALL, "failures.alive_fraction", [0.5, 2.0], runs=1)
+
+
+class TestProtocolsAndFailures:
+    @pytest.mark.parametrize(
+        "protocol", ["broadcast", "multicast", "hierarchical", "naive"]
+    )
+    def test_every_baseline_runs(self, protocol):
+        metrics = run_spec(small(protocol=protocol), seed=0)
+        assert metrics["events"] == 1.0
+        assert metrics["event_messages"] > 0
+
+    def test_dynamic_failures_run(self):
+        metrics = run_spec(
+            small(
+                failures={
+                    "kind": "dynamic",
+                    "alive_fraction": 0.8,
+                    "mode": "per_pair",
+                }
+            ),
+            seed=0,
+        )
+        assert 0.0 <= metrics["mean_delivery"] <= 1.0
+
+    def test_churn_failures_run(self):
+        metrics = run_spec(
+            small(
+                publications={
+                    "kind": "burst",
+                    "level": -1,
+                    "count": 5,
+                    "spacing": 2.0,
+                },
+                failures={
+                    "kind": "churn",
+                    "crash_probability": 0.5,
+                    "horizon": 10.0,
+                },
+            ),
+            seed=0,
+        )
+        assert metrics["events"] == 5.0
+
+    def test_partition_by_topic_blocks_climb(self):
+        # Every group its own island and no healing: the event cannot
+        # cross into the supergroups, so delivery on the publication
+        # topic stays intra-island.
+        metrics = run_spec(
+            small(failures={"kind": "partition", "islands": "by_topic"}),
+            seed=0,
+        )
+        assert metrics["events"] == 1.0
+
+    def test_partition_heal_restores_delivery(self):
+        split = small(
+            failures={"kind": "partition", "islands": 2},
+            publications={"kind": "single", "level": -1},
+        )
+        healed = spec_with(split, "failures.heals_at", 0.0)
+        degraded = run_spec(split, seed=0)["mean_delivery"]
+        restored = run_spec(healed, seed=0)["mean_delivery"]
+        assert restored >= degraded
+
+    def test_params_overrides_apply(self):
+        cheap = small(params={"c": 1, "g": 1, "z": 2, "fanout_log_base": 10})
+        tuned = spec_with(
+            cheap, "params.overrides", {".t1.t2": {"c": 8, "g": 8}}
+        )
+        cheap_messages = run_spec(cheap, seed=2)["event_messages"]
+        tuned_messages = run_spec(tuned, seed=2)["event_messages"]
+        assert tuned_messages > cheap_messages
+
+    def test_uniform_and_tree(self):
+        metrics = run_spec(
+            {
+                "name": "tree-uniform",
+                "topics": {"kind": "tree", "arity": 2, "depth": 2},
+                "subscriptions": {"kind": "uniform", "n": 60},
+                "publications": {"kind": "single"},
+                "params": {"fanout_log_base": 10},
+            },
+            seed=3,
+        )
+        assert metrics["processes"] == 60.0
+
+
+class TestPresets:
+    def test_expected_catalog(self):
+        assert preset_names() == [
+            "baseline-compare",
+            "churn-heavy",
+            "news-burst",
+            "paper-vii",
+            "partition-heal",
+            "zipf-feed",
+        ]
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_preset_runs_end_to_end(self, name):
+        metrics = run_spec(load_preset(name), seed=0)
+        assert metrics, "metrics dict must not be empty"
+        assert metrics["events"] >= 1.0
+        assert metrics["processes"] > 0
+
+    def test_paper_vii_matches_section7_population(self):
+        metrics = run_spec(load_preset("paper-vii"), seed=0)
+        assert metrics["processes"] == 1110.0
+        assert metrics["parasites"] == 0.0
+
+    def test_baseline_compare_exposes_parasites(self):
+        metrics = run_spec(load_preset("baseline-compare"), seed=0)
+        assert metrics["parasites"] > 0
+
+
+class TestCli:
+    @pytest.mark.parametrize("name", preset_names())
+    def test_preset_bit_identical_across_jobs(self, name, capsys):
+        """Acceptance: every bundled preset runs from the CLI and is
+        bit-identical across --jobs 1 and --jobs 2 for the same seed."""
+        args = ["scenario", "run", name, "--runs", "2", "--seed", "3"]
+        assert main([*args, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "metrics digest:" in serial
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SMALL))
+        assert main(["scenario", "run", str(path), "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario small" in out
+        assert "event_messages" in out
+
+    def test_sweep_command(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    "paper-vii",
+                    "--runs",
+                    "1",
+                    "--set",
+                    "subscriptions.counts=[3, 8, 20]",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    "paper-vii",
+                    "--field",
+                    "failures.alive_fraction",
+                    "--values",
+                    "0.5",
+                    "1.0",
+                    "--runs",
+                    "1",
+                    "--set",
+                    "subscriptions.counts=[3, 8, 20]",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failures.alive_fraction" in out
+        assert "mean_delivery" in out
+
+    def test_list_command(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-vii" in out and "zipf-feed" in out
+        assert main(["scenario", "list", "--names"]) == 0
+        names = capsys.readouterr().out.split()
+        assert names == preset_names()
+
+    def test_set_override_changes_result(self, capsys):
+        base = ["scenario", "run", "paper-vii", "--runs", "1",
+                "--set", "subscriptions.counts=[3, 8, 20]"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main([*base, "--set", "p_success=1.0"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_invalid_spec_exits_2(self, capsys):
+        assert main(["scenario", "run", "no-such-preset"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_bad_set_pair_exits_2(self, capsys):
+        assert (
+            main(["scenario", "run", "paper-vii", "--set", "nonsense"]) == 2
+        )
+        assert "PATH=VALUE" in capsys.readouterr().err

@@ -175,3 +175,51 @@ class TestPublications:
             PoissonSchedule(chain(1), rate=0, horizon=1.0)
         with pytest.raises(ConfigError):
             PoissonSchedule(chain(1), rate=1.0, horizon=1.0, weights=[1.0])
+
+    # ------------------------------------------------------------------
+    # Edge cases: a NaN rate/spacing would silently yield an unsorted or
+    # *infinite* schedule (nan comparisons are always False, so the
+    # Poisson loop never crosses the horizon); inf likewise. All must be
+    # rejected eagerly with ConfigError.
+    # ------------------------------------------------------------------
+    def test_burst_rejects_non_finite_spacing(self):
+        topic = Topic.parse(".a")
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ConfigError, match="spacing must be finite"):
+                burst_schedule(topic, count=3, spacing=bad)
+
+    def test_burst_rejects_non_finite_or_negative_start(self):
+        topic = Topic.parse(".a")
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ConfigError, match="start must be finite"):
+                burst_schedule(topic, count=3, start=bad)
+        with pytest.raises(ConfigError, match="start must be >= 0"):
+            burst_schedule(topic, count=3, start=-1.0)
+
+    def test_single_shot_rejects_bad_at(self):
+        topic = Topic.parse(".a")
+        with pytest.raises(ConfigError, match="at must be finite"):
+            single_shot(topic, at=float("nan"))
+        with pytest.raises(ConfigError, match="at must be >= 0"):
+            single_shot(topic, at=-0.5)
+
+    def test_poisson_rejects_non_finite_rate(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ConfigError, match="rate must be finite"):
+                PoissonSchedule(chain(1), rate=bad, horizon=10.0)
+
+    def test_poisson_rejects_non_finite_horizon(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ConfigError, match="horizon must be finite"):
+                PoissonSchedule(chain(1), rate=1.0, horizon=bad)
+
+    def test_poisson_rejects_bad_weights(self):
+        topics = [Topic.parse(".a"), Topic.parse(".b")]
+        with pytest.raises(ConfigError, match="finite and >= 0"):
+            PoissonSchedule(
+                topics, rate=1.0, horizon=1.0, weights=[1.0, float("nan")]
+            )
+        with pytest.raises(ConfigError, match="finite and >= 0"):
+            PoissonSchedule(topics, rate=1.0, horizon=1.0, weights=[1.0, -1.0])
+        with pytest.raises(ConfigError, match="not all be zero"):
+            PoissonSchedule(topics, rate=1.0, horizon=1.0, weights=[0.0, 0.0])
