@@ -13,13 +13,19 @@ Usage (installed as ``damulticast``, or ``python -m repro``)::
     damulticast scenario list                        # bundled presets
     damulticast scenario run paper-vii --jobs 2      # run a preset
     damulticast scenario run SPEC.json --runs 5      # run a spec file
+    damulticast scenario run churn-recover --out RUN.json   # dynamic preset
     damulticast scenario sweep SPEC.json \\
-        --field failures.alive_fraction --values 0.5 0.75 1.0
+        --field failures.alive_fraction --values 0.5 0.75 1.0 \\
+        --out SWEEP.json
+    damulticast scenario render SWEEP.json --format csv
 
 Every command prints the same rows/series the paper reports, as an
 aligned ASCII table. Scenario specs are declarative JSON documents (see
-``repro.workloads.spec``); ``scenario`` output is bit-identical for any
-``--jobs`` value.
+``repro.workloads.spec``) covering both static-mode (§VII simulator) and
+dynamic-mode (full protocol: bootstrap, maintenance, failure campaigns,
+latency models) runs; ``scenario`` output is bit-identical for any
+``--jobs`` value. ``scenario run/sweep --out`` saves a JSON payload that
+``scenario render`` turns into figure-style tables, CSV or JSON.
 """
 
 from __future__ import annotations
@@ -49,7 +55,12 @@ from repro.experiments.figures import (
     run_figure11,
 )
 from repro.experiments.runner import aggregate_runs
-from repro.metrics.report import Table
+from repro.metrics.report import (
+    SCENARIO_RUN_SCHEMA,
+    SCENARIO_SWEEP_SCHEMA,
+    Table,
+    table_from_scenario_payload,
+)
 from repro.workloads.scenarios import PaperScenario
 from repro.workloads.spec import (
     load_spec,
@@ -245,6 +256,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "(VALUE is parsed as JSON, falling back to a bare string)"
         ),
     )
+    scenario_run.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write the per-run samples and aggregates as a JSON "
+            "payload, renderable later with 'scenario render'"
+        ),
+    )
 
     scenario_sweep = scenario_sub.add_parser(
         "sweep", help="sweep one spec field over a list of values"
@@ -273,6 +293,45 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="PATH=VALUE",
         help="override a spec field before sweeping (see 'scenario run')",
+    )
+    scenario_sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write the sweep result (points, means, stds) as a JSON "
+            "payload, renderable later with 'scenario render'"
+        ),
+    )
+
+    scenario_render = scenario_sub.add_parser(
+        "render",
+        help=(
+            "render a saved 'scenario run/sweep --out' payload as a "
+            "figure-style table, CSV or JSON"
+        ),
+    )
+    scenario_render.add_argument(
+        "payload", help="path to a JSON payload written with --out"
+    )
+    scenario_render.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format (default: aligned ASCII table)",
+    )
+    scenario_render.add_argument(
+        "--metrics",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict (and order) the rendered metrics",
+    )
+    scenario_render.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the rendering to FILE instead of stdout",
     )
 
     scenario_list = scenario_sub.add_parser(
@@ -334,7 +393,47 @@ def _apply_overrides(spec: Mapping, pairs: Sequence[str]) -> Mapping:
     return spec
 
 
+def _write_payload(path: str, payload: Mapping) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _load_payload(path: str) -> Mapping:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise ConfigError(f"payload file {path!r} not found") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"payload file {path!r} is not valid JSON: {exc}"
+        ) from exc
+
+
+def _render_scenario_payload(args: argparse.Namespace) -> int:
+    table = table_from_scenario_payload(
+        _load_payload(args.payload), metrics=args.metrics
+    )
+    if args.format == "csv":
+        rendered = table.to_csv()
+    elif args.format == "json":
+        rendered = table.to_json() + "\n"
+    else:
+        rendered = table.render() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _run_scenario_command(args: argparse.Namespace) -> int:
+    if args.scenario_command == "render":
+        return _render_scenario_payload(args)
     if args.scenario_command == "list":
         from repro.workloads.presets import load_preset, preset_names
 
@@ -375,7 +474,23 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         for metric in sorted(means):
             table.add_row(metric, means[metric], stds[metric])
         print(table.render())
-        print(f"metrics digest: {metrics_digest(samples)}")
+        digest = metrics_digest(samples)
+        print(f"metrics digest: {digest}")
+        if args.out:
+            _write_payload(
+                args.out,
+                {
+                    "schema": SCENARIO_RUN_SCHEMA,
+                    "name": spec.get("name", args.spec),
+                    "spec": spec,
+                    "runs": args.runs,
+                    "master_seed": args.seed,
+                    "samples": samples,
+                    "means": means,
+                    "stds": stds,
+                    "digest": digest,
+                },
+            )
         return 0
 
     # sweep
@@ -401,6 +516,21 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
             point, *(result.means[metric][index] for metric in metric_names)
         )
     print(table.render())
+    if args.out:
+        _write_payload(
+            args.out,
+            {
+                "schema": SCENARIO_SWEEP_SCHEMA,
+                "name": spec.get("name", args.spec),
+                "spec": spec,
+                "field": args.field,
+                "runs": args.runs,
+                "master_seed": args.seed,
+                "points": result.points,
+                "means": result.means,
+                "stds": result.stds,
+            },
+        )
     return 0
 
 

@@ -339,6 +339,16 @@ class DaMulticastSystem:
         """pid → subscribed topic, for parasite accounting."""
         return {pid: p.topic for pid, p in self._processes.items()}
 
+    def topic_of(self, pid: int) -> Topic | None:
+        """``pid``'s topic, or None for unknown pids (e.g. not yet joined).
+
+        Link classifiers (per-link-class latency) use this instead of
+        :meth:`process` because they are consulted for every transmission,
+        including ones racing a staggered join.
+        """
+        process = self._processes.get(pid)
+        return None if process is None else process.topic
+
     def topics(self) -> list[Topic]:
         """All topics with at least one interested process."""
         return sorted(self._groups)

@@ -10,6 +10,7 @@ sorted list of state transitions; liveness queries binary-search it.
 from __future__ import annotations
 
 import bisect
+import math
 import random
 from typing import Sequence
 
@@ -37,6 +38,12 @@ class ChurnSchedule:
         return self._add(pid, time, alive_after=True)
 
     def _add(self, pid: int, time: float, alive_after: bool) -> "ChurnSchedule":
+        # A NaN passes `time < 0` (all ordered comparisons on NaN are
+        # False) and would silently corrupt the binary-searched timeline:
+        # sorting puts NaN entries in an arbitrary position and
+        # bisect_right's comparisons against them are meaningless.
+        if not math.isfinite(time):
+            raise ConfigError(f"transition time must be finite, got {time!r}")
         if time < 0:
             raise ConfigError(f"transition time must be >= 0, got {time}")
         self._transitions.setdefault(pid, []).append((time, alive_after))
@@ -90,6 +97,8 @@ class ChurnSchedule:
             raise ConfigError("crash_probability must be in [0,1]")
         if not 0.0 <= recover_probability <= 1.0:
             raise ConfigError("recover_probability must be in [0,1]")
+        if not math.isfinite(horizon):
+            raise ConfigError(f"horizon must be finite, got {horizon!r}")
         if horizon <= 0:
             raise ConfigError(f"horizon must be > 0, got {horizon}")
         schedule = cls()

@@ -11,11 +11,28 @@ campaigns compose with everything else deterministic in a run.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.failures.churn import ChurnSchedule
+
+
+def _validate_action_time(at: float) -> None:
+    """Campaign action times must be finite and non-negative.
+
+    The same NaN hazard as :meth:`ChurnSchedule._add`: ``nan < 0`` is
+    False, so an unguarded action time would be scheduled at a NaN
+    timestamp, poisoning the engine's heap ordering and every crash/recover
+    transition the action records.
+    """
+    if isinstance(at, bool) or not isinstance(at, (int, float)):
+        raise ConfigError(f"action time must be a number, got {at!r}")
+    if not math.isfinite(at):
+        raise ConfigError(f"action time must be finite, got {at!r}")
+    if at < 0:
+        raise ConfigError(f"action time must be >= 0, got {at}")
 
 
 @dataclass
@@ -62,6 +79,7 @@ class FailureCampaign:
         self, at: float, fraction: float, topic=None
     ) -> "FailureCampaign":
         """Crash a uniform ``fraction`` of a group (or of everyone) at ``at``."""
+        _validate_action_time(at)
         if not 0.0 <= fraction <= 1.0:
             raise ConfigError(f"fraction must be in [0,1], got {fraction}")
 
@@ -89,6 +107,7 @@ class FailureCampaign:
         existing inter-group link of a group at once, forcing the
         maintenance/bootstrap machinery to rebuild from scratch.
         """
+        _validate_action_time(at)
 
         def action() -> None:
             victims: set[int] = set()
@@ -106,6 +125,7 @@ class FailureCampaign:
 
     def recover(self, at: float, pids) -> "FailureCampaign":
         """Bring the listed pids back at ``at``."""
+        _validate_action_time(at)
         frozen = tuple(pids)
 
         def action() -> None:
@@ -116,8 +136,35 @@ class FailureCampaign:
         self._system.engine.schedule_at(at, action)
         return self
 
+    def recover_fraction(self, at: float, fraction: float) -> "FailureCampaign":
+        """Bring back a uniform ``fraction`` of the currently-dead victims.
+
+        Victims are the pids this campaign crashed that are still dead at
+        ``at``; the sample is drawn from the campaign's RNG, so recoveries
+        are as deterministic as the kills.
+        """
+        _validate_action_time(at)
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(f"fraction must be in [0,1], got {fraction}")
+
+        def action() -> None:
+            dead = sorted(
+                pid
+                for pid in self.log.killed_pids()
+                if not self._schedule.is_alive(pid, at)
+            )
+            count = round(len(dead) * fraction)
+            chosen = tuple(self._rng.sample(dead, count)) if count else ()
+            for pid in chosen:
+                self._schedule.recover_at(pid, at)
+            self.log.actions.append((at, "recover", chosen))
+
+        self._system.engine.schedule_at(at, action)
+        return self
+
     def recover_all(self, at: float) -> "FailureCampaign":
         """Bring every previously crashed process back at ``at``."""
+        _validate_action_time(at)
 
         def action() -> None:
             victims = tuple(self.log.killed_pids())

@@ -89,6 +89,84 @@ def render_table(table: Table) -> str:
     return table.render()
 
 
+#: Payload schemas written by ``repro scenario run/sweep --out`` and read
+#: back by ``repro scenario render``.
+SCENARIO_RUN_SCHEMA = "repro-scenario-run-v1"
+SCENARIO_SWEEP_SCHEMA = "repro-scenario-sweep-v1"
+
+
+def _select_metrics(
+    available: Sequence[str], requested: Sequence[str] | None, what: str
+) -> list[str]:
+    if requested is None:
+        return sorted(available)
+    missing = sorted(set(requested) - set(available))
+    if missing:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"{what}: unknown metric(s) {', '.join(map(repr, missing))}; "
+            f"available: {', '.join(sorted(available))}"
+        )
+    return list(requested)
+
+
+def table_from_scenario_payload(
+    payload: Any, metrics: Sequence[str] | None = None
+) -> Table:
+    """A figure-style :class:`Table` from a saved scenario payload.
+
+    Accepts the two JSON payloads the scenario CLI writes with ``--out``:
+
+    * ``repro-scenario-run-v1`` → one row per metric (mean, std over runs);
+    * ``repro-scenario-sweep-v1`` → one row per swept point, one column per
+      metric mean (restrict with ``metrics``).
+
+    The returned table renders to aligned ASCII (:meth:`Table.render`),
+    CSV (:meth:`Table.to_csv`) or JSON (:meth:`Table.to_json`).
+    """
+    from repro.errors import ConfigError
+
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"scenario payload must be a JSON object, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema == SCENARIO_RUN_SCHEMA:
+        means = payload.get("means", {})
+        stds = payload.get("stds", {})
+        chosen = _select_metrics(list(means), metrics, "render")
+        table = Table(
+            f"scenario {payload.get('name', '?')} — metrics over "
+            f"{payload.get('runs', '?')} run(s), master seed "
+            f"{payload.get('master_seed', '?')}",
+            ["metric", "mean", "std"],
+        )
+        for metric in chosen:
+            table.add_row(metric, means[metric], stds.get(metric, 0.0))
+        return table
+    if schema == SCENARIO_SWEEP_SCHEMA:
+        means = payload.get("means", {})
+        field_name = payload.get("field", "point")
+        chosen = _select_metrics(list(means), metrics, "render")
+        table = Table(
+            f"scenario {payload.get('name', '?')} — sweep over "
+            f"{field_name} ({payload.get('runs', '?')} run(s)/point, "
+            f"master seed {payload.get('master_seed', '?')})",
+            [field_name, *chosen],
+        )
+        for index, point in enumerate(payload.get("points", [])):
+            table.add_row(
+                point, *(means[metric][index] for metric in chosen)
+            )
+        return table
+    raise ConfigError(
+        f"unknown scenario payload schema {schema!r}; expected "
+        f"{SCENARIO_RUN_SCHEMA!r} or {SCENARIO_SWEEP_SCHEMA!r} "
+        "(write one with 'repro scenario run/sweep --out')"
+    )
+
+
 def format_series(
     name: str,
     xs: Iterable[float],

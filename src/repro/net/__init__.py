@@ -17,6 +17,7 @@ from repro.net.latency import (
     ConstantLatency,
     ExponentialLatency,
     LatencyModel,
+    LinkClassLatency,
     UniformLatency,
     ZERO_LATENCY,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "LinkClassLatency",
     "ZERO_LATENCY",
     "PartitionModel",
     "StaticPartition",

@@ -8,8 +8,9 @@ dynamic-protocol experiments where timeouts and staleness matter.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Protocol
+from typing import Callable, Mapping, Protocol
 
 from repro.errors import ConfigError
 
@@ -22,10 +23,25 @@ class LatencyModel(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def _require_finite(value: float, what: str) -> None:
+    """Latency parameters must be finite numbers.
+
+    A NaN slips through every ordered comparison (``nan < 0`` is False),
+    so an unguarded constructor would accept it and then schedule
+    deliveries at NaN timestamps, silently corrupting the engine's
+    time-ordered queue; an infinite delay parks messages forever.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{what} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ConfigError(f"{what} must be finite, got {value!r}")
+
+
 class ConstantLatency:
     """Every message takes exactly ``delay`` time units."""
 
     def __init__(self, delay: float):
+        _require_finite(delay, "latency")
         if delay < 0:
             raise ConfigError(f"latency must be >= 0, got {delay}")
         self.delay = delay
@@ -41,6 +57,8 @@ class UniformLatency:
     """Delay drawn uniformly from ``[low, high]``."""
 
     def __init__(self, low: float, high: float):
+        _require_finite(low, "latency low")
+        _require_finite(high, "latency high")
         if low < 0 or high < low:
             raise ConfigError(f"need 0 <= low <= high, got [{low}, {high}]")
         self.low = low
@@ -62,6 +80,7 @@ class ExponentialLatency:
     """
 
     def __init__(self, mean: float):
+        _require_finite(mean, "mean latency")
         if mean <= 0:
             raise ConfigError(f"mean latency must be > 0, got {mean}")
         self.mean = mean
@@ -71,6 +90,71 @@ class ExponentialLatency:
 
     def __repr__(self) -> str:
         return f"ExponentialLatency({self.mean})"
+
+
+#: Classifies one (sender, target) link into a class name, or None when the
+#: link cannot be classified yet (e.g. a process that has not joined).
+LinkClassifier = Callable[[int, int], "str | None"]
+
+
+class LinkClassLatency:
+    """Per-link-class latency: a default model plus named-class overrides.
+
+    The dynamic-protocol experiments want different delay regimes per link
+    class — e.g. cheap intra-group gossip but slow inter-group links (the
+    scenario specs classify links as ``"intra"``/``"inter"`` by the
+    endpoints' topics). The network consults :meth:`sample_link` when the
+    installed latency model provides it; models without it keep the plain
+    ``sample`` path, so existing trajectories are untouched.
+
+    The classifier usually needs the built system (pid → topic), which does
+    not exist when the network is constructed — create the model first,
+    then :meth:`bind` the classifier. Unbound (or unclassifiable) links
+    fall back to the default model.
+    """
+
+    def __init__(
+        self,
+        default: LatencyModel,
+        overrides: Mapping[str, LatencyModel] | None = None,
+    ):
+        if not callable(getattr(default, "sample", None)):
+            raise ConfigError(
+                f"default must be a latency model, got {default!r}"
+            )
+        self.default = default
+        self.overrides = dict(overrides or {})
+        for name, model in self.overrides.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigError(
+                    f"link class names must be non-empty strings, got {name!r}"
+                )
+            if not callable(getattr(model, "sample", None)):
+                raise ConfigError(
+                    f"override {name!r} must be a latency model, got {model!r}"
+                )
+        self._classify: LinkClassifier | None = None
+
+    def bind(self, classifier: LinkClassifier) -> None:
+        """Install the link classifier (called once the system exists)."""
+        self._classify = classifier
+
+    def sample(self, rng: random.Random) -> float:
+        return self.default.sample(rng)
+
+    def sample_link(self, sender: int, target: int, rng: random.Random) -> float:
+        """Delay for one specific link (the network's preferred entry)."""
+        if self._classify is None:
+            return self.default.sample(rng)
+        link_class = self._classify(sender, target)
+        model = self.overrides.get(link_class, self.default)
+        return model.sample(rng)
+
+    def __repr__(self) -> str:
+        classes = ", ".join(
+            f"{name}={model!r}" for name, model in sorted(self.overrides.items())
+        )
+        return f"LinkClassLatency(default={self.default!r}, {{{classes}}})"
 
 
 #: Shared zero-delay model (the paper's synchronous-round semantics).

@@ -109,12 +109,28 @@ class Network:
         self._engine = engine
         self._rng = rng
         self.p_success = p_success
-        self.latency = latency
+        self.latency = latency  # property: also caches the sample_link hook
         self.failure_model: FailureModel = failure_model or AlwaysAlive()
         self.partition_model: PartitionModel = partition_model or FullyConnected()
         self.stats = stats if stats is not None else NetworkStats()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self._actors: dict[int, Actor] = {}
+
+    # ------------------------------------------------------------------
+    # Latency (the per-link hook is resolved once per model, not per send)
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> LatencyModel:
+        """The installed latency model."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        self._latency = model
+        # Link-class models sample per (sender, target) pair; resolving the
+        # optional hook here keeps the per-message send() path free of a
+        # getattr on dynamic mode's one-at-a-time control traffic.
+        self._sample_link = getattr(model, "sample_link", None)
 
     # ------------------------------------------------------------------
     # Registration
@@ -184,7 +200,12 @@ class Network:
             self._drop(message, sender, target, DROP_CHANNEL_LOSS)
             return False
 
-        delay = self.latency.sample(self._rng)
+        sample_link = self._sample_link
+        delay = (
+            sample_link(sender, target, self._rng)
+            if sample_link is not None
+            else self._latency.sample(self._rng)
+        )
         self._engine.schedule(delay, lambda: self._deliver(sender, target, message))
         return True
 
@@ -239,8 +260,9 @@ class Network:
         check_perceived = type(failure_model) is not AlwaysAlive
         partition_model = self.partition_model
         check_partition = type(partition_model) is not FullyConnected
-        latency = self.latency
+        latency = self._latency
         fixed_delay = latency.delay if type(latency) is ConstantLatency else None
+        sample_link = self._sample_link
 
         drop_counts: dict[str, int] = {}
         batches: dict[float, list[int]] = {}
@@ -256,9 +278,12 @@ class Network:
             elif random_draw() >= p_success:
                 reason = DROP_CHANNEL_LOSS
             else:
-                delay = (
-                    fixed_delay if fixed_delay is not None else latency.sample(rng)
-                )
+                if fixed_delay is not None:
+                    delay = fixed_delay
+                elif sample_link is not None:
+                    delay = sample_link(sender, target, rng)
+                else:
+                    delay = latency.sample(rng)
                 batch = batches.get(delay)
                 if batch is None:
                     batches[delay] = [target]

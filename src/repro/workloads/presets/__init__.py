@@ -1,10 +1,13 @@
 """Bundled scenario presets: named, ready-to-run :mod:`repro.workloads.spec`
 specs shipped as JSON files next to this module.
 
-Each preset is one point in the scenario space the spec subsystem opens —
-the §VII paper workload, a Zipf-skewed feed, a news burst, heavy churn, a
-healing partition, and a baseline counterpart of the paper workload. Run
-one with::
+Each preset is one point in the scenario space the spec subsystem opens.
+Static-mode presets cover the §VII paper workload, a Zipf-skewed feed, a
+news burst, heavy churn, a healing partition, and a baseline counterpart
+of the paper workload; dynamic-mode presets exercise the full protocol —
+a staggered bootstrap wave (``bootstrap-wave``), a crash/heal campaign
+(``churn-recover``), and the adversarial inter-group link attack
+(``super-link-attack``). Run one with::
 
     python -m repro scenario run paper-vii --jobs 2
 

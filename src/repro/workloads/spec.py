@@ -16,7 +16,18 @@ composing the ingredients that already exist as modules:
 * **protocol parameters** — :class:`~repro.core.params.TopicParams`
   defaults plus per-topic overrides,
 * a **protocol** — daMulticast or any baseline (broadcast, multicast,
-  hierarchical, naive publisher).
+  hierarchical, naive publisher),
+* an execution **mode** — ``"static"`` (the §VII simulator: tables drawn
+  once, runs to quiescence) or ``"dynamic"`` (the full protocol: staggered
+  joins bootstrap through the overlay, FIND_SUPER_CONTACT floods, tables
+  self-repair, and the run is driven to a spec-derived horizon),
+* a **latency model** (``latency`` section, either mode:
+  constant/uniform/exponential, with optional per-link-class
+  ``intra``/``inter`` overrides for daMulticast),
+* and, in dynamic mode, a **bootstrap arrival schedule** (``dynamic``
+  section: immediate, staggered, or waves) plus an orchestrated **failure
+  campaign** (``campaign`` section compiling to
+  :class:`~repro.failures.injector.FailureCampaign` actions).
 
 A spec is a plain mapping (JSON-serializable), validated with precise
 :class:`~repro.errors.ConfigError` messages — unknown keys, out-of-domain
@@ -33,8 +44,10 @@ Determinism
 ``run_spec(spec, seed)`` is a pure function of ``(spec, seed)``: every
 random decision draws from a stream derived via
 :func:`~repro.sim.rng.derive_seed` (``spec/subscriptions``,
-``spec/publications/<i>``, ``spec/scenario``), so the same spec and seed
-give bit-identical metrics in any process. That is what makes specs
+``spec/publications/<i>``, ``spec/scenario``, and in dynamic mode
+``spec/churn`` for churn realization and ``spec/campaign`` for campaign
+samples), so the same spec and seed give bit-identical metrics in any
+process. That is what makes specs
 sweepable over any field through the parallel sweep engine:
 :func:`sweep_scenario` derives per-cell seeds with the standard
 ``derive_seed(master_seed, f"{label}/{point}/{j}")`` contract and is
@@ -76,8 +89,17 @@ from repro.experiments.runner import (
 )
 from repro.failures.churn import ChurnSchedule
 from repro.failures.dynamic import DynamicFailures
+from repro.failures.injector import FailureCampaign
 from repro.failures.stillborn import sample_stillborn
 from repro.metrics.delivery import parasite_deliveries
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    LinkClassLatency,
+    UniformLatency,
+    ZERO_LATENCY,
+)
 from repro.net.partitions import StaticPartition
 from repro.sim.rng import derive_seed
 from repro.topics.builders import balanced_tree, chain, from_names
@@ -102,10 +124,14 @@ _TOP_KEYS = {
     "name",
     "description",
     "protocol",
+    "mode",
     "topics",
     "subscriptions",
     "publications",
     "failures",
+    "campaign",
+    "latency",
+    "dynamic",
     "params",
     "p_success",
 }
@@ -121,6 +147,29 @@ _PARAM_DEFAULTS: dict[str, Any] = {
     "tau": 1,
     "fanout_log_base": 10.0,
 }
+
+#: Dynamic-mode run settings (the ``dynamic`` section's defaults):
+#: publications replay at ``warmup + t``, the run ends ``settle`` after the
+#: last scheduled activity, and the remaining knobs feed
+#: :class:`~repro.core.params.DaMulticastConfig` / the bootstrap overlay.
+_DYNAMIC_DEFAULTS: dict[str, Any] = {
+    "warmup": 30.0,
+    "settle": 10.0,
+    "maintain_interval": 1.0,
+    "ping_timeout": 1.0,
+    "bootstrap_timeout": 2.0,
+    "bootstrap_ttl": 4,
+    "overlay_degree": 5,
+}
+
+_CAMPAIGN_KINDS = (
+    "kill_fraction",
+    "kill_super_links",
+    "recover",
+    "recover_all",
+)
+
+_LINK_CLASSES = ("inter", "intra")
 
 _MISSING = object()
 
@@ -525,6 +574,150 @@ def _validate_failures(section: Mapping) -> None:
             _get_number(section, "heals_at", "failures", minimum=0)
 
 
+def _validate_dynamic(section: Mapping) -> None:
+    _require_mapping(section, "dynamic")
+    _reject_unknown_keys(
+        section, {"bootstrap"} | set(_DYNAMIC_DEFAULTS), "dynamic"
+    )
+    _get_number(
+        section, "warmup", "dynamic",
+        default=_DYNAMIC_DEFAULTS["warmup"], minimum=0,
+    )
+    _get_number(
+        section, "settle", "dynamic",
+        default=_DYNAMIC_DEFAULTS["settle"], minimum=0,
+    )
+    for key in ("maintain_interval", "ping_timeout", "bootstrap_timeout"):
+        _get_number(
+            section, key, "dynamic", default=_DYNAMIC_DEFAULTS[key], above=0
+        )
+    for key in ("bootstrap_ttl", "overlay_degree"):
+        _get_number(
+            section, key, "dynamic",
+            default=_DYNAMIC_DEFAULTS[key], minimum=1, integer=True,
+        )
+    if "bootstrap" not in section:
+        return
+    bootstrap = _require_mapping(section["bootstrap"], "dynamic.bootstrap")
+    where = "dynamic.bootstrap"
+    kind = _take_kind(bootstrap, ("immediate", "staggered", "waves"), where)
+    order = bootstrap.get("order", "by_topic")
+    if order not in ("by_topic", "interleaved"):
+        raise ConfigError(
+            f"{where}: 'order' must be 'by_topic' or 'interleaved', "
+            f"got {order!r}"
+        )
+    if kind == "immediate":
+        _reject_unknown_keys(bootstrap, {"kind", "order"}, where)
+    elif kind == "staggered":
+        _reject_unknown_keys(
+            bootstrap, {"kind", "order", "start", "spacing"}, where
+        )
+        _get_number(bootstrap, "start", where, default=0.0, minimum=0)
+        _get_number(bootstrap, "spacing", where, minimum=0)
+    else:  # waves
+        _reject_unknown_keys(
+            bootstrap, {"kind", "order", "start", "wave_size", "interval"}, where
+        )
+        _get_number(bootstrap, "wave_size", where, minimum=1, integer=True)
+        _get_number(bootstrap, "interval", where, above=0)
+        _get_number(bootstrap, "start", where, default=0.0, minimum=0)
+
+
+def _validate_campaign(
+    section: Mapping,
+    ordered_topics: tuple[Topic, ...],
+    hierarchy: TopicHierarchy,
+    is_chain: bool,
+) -> None:
+    _require_mapping(section, "campaign")
+    _reject_unknown_keys(section, {"actions"}, "campaign")
+    actions = section.get("actions")
+    if (
+        not isinstance(actions, Sequence)
+        or isinstance(actions, str)
+        or not actions
+    ):
+        raise ConfigError(
+            "campaign: 'actions' must be a non-empty list of action objects"
+        )
+    for index, action in enumerate(actions):
+        where = f"campaign.actions[{index}]"
+        _require_mapping(action, where)
+        kind = _take_kind(action, _CAMPAIGN_KINDS, where)
+        _get_number(action, "at", where, minimum=0)
+        if kind == "kill_fraction":
+            _reject_unknown_keys(
+                action, {"kind", "at", "fraction", "topic", "level"}, where
+            )
+            _get_number(action, "fraction", where, minimum=0.0, maximum=1.0)
+            _validate_topic_ref(action, ordered_topics, hierarchy, is_chain, where)
+        elif kind == "kill_super_links":
+            _reject_unknown_keys(action, {"kind", "at", "topic", "level"}, where)
+            if "topic" not in action and "level" not in action:
+                raise ConfigError(
+                    f"{where}: kill_super_links needs a 'topic' or 'level' "
+                    "naming the attacked group"
+                )
+            _validate_topic_ref(action, ordered_topics, hierarchy, is_chain, where)
+        elif kind == "recover":
+            _reject_unknown_keys(action, {"kind", "at", "fraction"}, where)
+            _get_number(
+                action, "fraction", where, default=1.0, minimum=0.0, maximum=1.0
+            )
+        else:  # recover_all
+            _reject_unknown_keys(action, {"kind", "at"}, where)
+
+
+def _validate_latency(
+    section: Mapping,
+    protocol: str,
+    where: str = "latency",
+    allow_overrides: bool = True,
+) -> None:
+    _require_mapping(section, where)
+    kind = _take_kind(section, ("constant", "uniform", "exponential"), where)
+    allowed = {"kind"}
+    if kind == "constant":
+        allowed |= {"delay"}
+        _get_number(section, "delay", where, default=0.0, minimum=0)
+    elif kind == "uniform":
+        allowed |= {"low", "high"}
+        low = _get_number(section, "low", where, minimum=0)
+        high = _get_number(section, "high", where, minimum=0)
+        if high < low:
+            raise ConfigError(
+                f"{where}: need low <= high, got [{low}, {high}]"
+            )
+    else:  # exponential
+        allowed |= {"mean"}
+        _get_number(section, "mean", where, above=0)
+    if allow_overrides:
+        allowed |= {"overrides"}
+        if "overrides" in section:
+            overrides = _require_mapping(
+                section["overrides"], f"{where}.overrides"
+            )
+            if protocol != "daMulticast":
+                raise ConfigError(
+                    f"{where}.overrides: per-link-class latency requires "
+                    f"protocol 'daMulticast', got {protocol!r}"
+                )
+            for name, sub in overrides.items():
+                if name not in _LINK_CLASSES:
+                    raise ConfigError(
+                        f"{where}.overrides: unknown link class {name!r}; "
+                        f"allowed: {', '.join(_LINK_CLASSES)}"
+                    )
+                _validate_latency(
+                    sub,
+                    protocol,
+                    where=f"{where}.overrides[{name!r}]",
+                    allow_overrides=False,
+                )
+    _reject_unknown_keys(section, allowed, where)
+
+
 def _validate_params(
     section: Mapping, protocol: str
 ) -> tuple[TopicParams, dict[Topic, TopicParams]]:
@@ -612,6 +805,7 @@ class CompiledSpec:
     description: str
     protocol: str
     protocol_options: dict
+    mode: str
     hierarchy: TopicHierarchy
     ordered_topics: tuple[Topic, ...]
     is_chain: bool
@@ -721,19 +915,25 @@ class CompiledSpec:
         return merged
 
     def _make_system(self, seed: int, counts: Mapping[Topic, int]):
+        latency_model = self._latency_model()
         if self.protocol == "daMulticast":
             config = DaMulticastConfig(
                 default_params=self.params, overrides=dict(self.overrides)
             )
-            return DaMulticastSystem(
+            system = DaMulticastSystem(
                 config=config,
                 seed=seed,
                 p_success=self.p_success,
+                latency=latency_model,
                 mode="static",
             )
+            if isinstance(latency_model, LinkClassLatency):
+                latency_model.bind(_topic_link_classifier(system))
+            return system
         common = dict(
             seed=seed,
             p_success=self.p_success,
+            latency=latency_model,
             b=self.params.b,
             c=self.params.c,
             log_base=self.params.fanout_log_base,
@@ -805,9 +1005,205 @@ class CompiledSpec:
                 islands, heals_at=section.get("heals_at")
             )
 
+    # ------------------------------------------------------------------
+    # Dynamic-mode realization
+    # ------------------------------------------------------------------
+    def _latency_model(self) -> LatencyModel:
+        section = self.spec.get("latency")
+        if section is None:
+            return ZERO_LATENCY
+        default = _make_latency(section)
+        overrides_spec = section.get("overrides")
+        if not overrides_spec:
+            return default
+        overrides = {
+            name: _make_latency(sub)
+            for name, sub in sorted(overrides_spec.items())
+        }
+        return LinkClassLatency(default, overrides)
+
+    def _dynamic_settings(self) -> dict[str, Any]:
+        section = self.spec.get("dynamic", {})
+        return {
+            key: section.get(key, default)
+            for key, default in _DYNAMIC_DEFAULTS.items()
+        }
+
+    def _join_plan(
+        self, counts: Mapping[Topic, int]
+    ) -> list[tuple[float, Topic]]:
+        """The bootstrap arrival schedule: one (join time, topic) per process.
+
+        ``by_topic`` order is root-first (each group fully joins before its
+        subgroups start bootstrapping toward it); ``interleaved`` round-robins
+        across groups so every wave mixes all hierarchy levels.
+        """
+        section = self.spec.get("dynamic", {}).get(
+            "bootstrap", {"kind": "immediate"}
+        )
+        kind = section["kind"] if "kind" in section else "immediate"
+        topics = [
+            topic
+            for topic in sorted(counts, key=lambda t: (t.depth, t.name))
+            if counts[topic] > 0
+        ]
+        if section.get("order", "by_topic") == "by_topic":
+            sequence = [
+                topic for topic in topics for _ in range(counts[topic])
+            ]
+        else:  # interleaved
+            remaining = {topic: counts[topic] for topic in topics}
+            sequence = []
+            while remaining:
+                for topic in topics:
+                    if remaining.get(topic, 0):
+                        sequence.append(topic)
+                        remaining[topic] -= 1
+                        if not remaining[topic]:
+                            del remaining[topic]
+        if kind == "immediate":
+            return [(0.0, topic) for topic in sequence]
+        start = section.get("start", 0.0)
+        if kind == "staggered":
+            spacing = section["spacing"]
+            return [
+                (start + index * spacing, topic)
+                for index, topic in enumerate(sequence)
+            ]
+        # waves
+        wave_size = section["wave_size"]
+        interval = section["interval"]
+        return [
+            (start + (index // wave_size) * interval, topic)
+            for index, topic in enumerate(sequence)
+        ]
+
+    def _campaign_target(self, action: Mapping) -> Topic | None:
+        if "topic" in action:
+            return Topic.parse(action["topic"])
+        if "level" in action:
+            return self.ordered_topics[action["level"]]
+        return None
+
+    def _schedule_campaign(
+        self, campaign: FailureCampaign, actions: Sequence[Mapping]
+    ) -> None:
+        for action in actions:
+            kind = action["kind"]
+            at = action["at"]
+            if kind == "kill_fraction":
+                campaign.kill_fraction(
+                    at, action["fraction"], topic=self._campaign_target(action)
+                )
+            elif kind == "kill_super_links":
+                campaign.kill_super_links(at, self._campaign_target(action))
+            elif kind == "recover":
+                campaign.recover_fraction(at, action.get("fraction", 1.0))
+            else:  # recover_all
+                campaign.recover_all(at)
+
+    def _build_dynamic(
+        self, seed: int, counts: Mapping[Topic, int]
+    ) -> "BuiltScenario":
+        """Assemble a full-protocol run: staggered joins, maintenance,
+        optional campaign, publications offset by the warmup, horizon-bound.
+        """
+        settings = self._dynamic_settings()
+        joins = self._join_plan(counts)
+        failures = self.spec.get("failures", {"kind": "none"})
+        campaign_spec = self.spec.get("campaign")
+        failure_model = None
+        if failures["kind"] == "churn":
+            # Pids are assigned 0..N-1 in join order, so the churn timeline
+            # can be realized over the full pid space before any process
+            # exists — a pid crashed before its join simply joins dead.
+            failure_model = ChurnSchedule.random_churn(
+                range(sum(counts.values())),
+                random.Random(derive_seed(seed, "spec/churn")),
+                crash_probability=failures["crash_probability"],
+                horizon=failures["horizon"],
+                recover_probability=failures.get("recover_probability", 0.5),
+            )
+        elif failures["kind"] == "dynamic":
+            failure_model = DynamicFailures(
+                fail_probability=1.0 - failures["alive_fraction"],
+                mode=failures.get("mode", "per_attempt"),
+            )
+        elif campaign_spec is not None:
+            failure_model = ChurnSchedule()
+        latency_model = self._latency_model()
+        config = DaMulticastConfig(
+            default_params=self.params,
+            overrides=dict(self.overrides),
+            maintain_interval=settings["maintain_interval"],
+            bootstrap_timeout=settings["bootstrap_timeout"],
+            bootstrap_ttl=settings["bootstrap_ttl"],
+            ping_timeout=settings["ping_timeout"],
+        )
+        system = DaMulticastSystem(
+            config=config,
+            seed=seed,
+            p_success=self.p_success,
+            latency=latency_model,
+            failure_model=failure_model,
+            mode="dynamic",
+            overlay_degree=settings["overlay_degree"],
+        )
+        if isinstance(latency_model, LinkClassLatency):
+            latency_model.bind(_topic_link_classifier(system))
+        for time, topic in joins:
+            system.engine.schedule_at(
+                time, functools.partial(system.add_process, topic)
+            )
+        campaign = None
+        if campaign_spec is not None:
+            campaign = FailureCampaign(
+                system,
+                failure_model,
+                random.Random(derive_seed(seed, "spec/campaign")),
+            )
+            self._schedule_campaign(campaign, campaign_spec["actions"])
+        schedule = self._realize_schedule(
+            self.spec.get("publications", {"kind": "single"}),
+            seed,
+            counts,
+            stream="spec/publications",
+            where="publications",
+        )
+        warmup = settings["warmup"]
+        shifted = [
+            ScheduledPublication(warmup + publication.time, publication.topic)
+            for publication in schedule
+        ]
+        last_action = (
+            max(action["at"] for action in campaign_spec["actions"])
+            if campaign_spec
+            else 0.0
+        )
+        horizon = (
+            max(
+                max((time for time, _ in joins), default=0.0),
+                max((publication.time for publication in shifted), default=0.0),
+                last_action,
+            )
+            + settings["settle"]
+        )
+        return BuiltScenario(
+            compiled=self,
+            seed=seed,
+            system=system,
+            counts=dict(counts),
+            schedule=shifted,
+            publishers=None,
+            horizon=horizon,
+            campaign=campaign,
+        )
+
     def build(self, seed: int) -> "BuiltScenario":
         """Assemble the ready-to-run simulation for one seed."""
         counts = self._population(seed)
+        if self.mode == "dynamic":
+            return self._build_dynamic(seed, counts)
         system = self._make_system(seed, counts)
         populate_system(system, counts)
         schedule = self._realize_schedule(
@@ -848,21 +1244,56 @@ def _members(system, topic: Topic) -> list:
     return system.group(topic)
 
 
+def _make_latency(section: Mapping) -> LatencyModel:
+    """One validated latency sub-section → a latency model instance."""
+    kind = section["kind"]
+    if kind == "constant":
+        return ConstantLatency(section.get("delay", 0.0))
+    if kind == "uniform":
+        return UniformLatency(section["low"], section["high"])
+    return ExponentialLatency(section["mean"])
+
+
+def _topic_link_classifier(system: DaMulticastSystem):
+    """Classify links as ``intra`` (same group) / ``inter`` (cross-group)."""
+    topic_of = system.topic_of
+
+    def classify(sender: int, target: int) -> str | None:
+        sender_topic = topic_of(sender)
+        target_topic = topic_of(target)
+        if sender_topic is None or target_topic is None:
+            return None
+        return "intra" if sender_topic == target_topic else "inter"
+
+    return classify
+
+
 @dataclass
 class BuiltScenario:
-    """A built spec plus the handles examples and metrics need."""
+    """A built spec plus the handles examples and metrics need.
+
+    Static builds run to quiescence; dynamic builds carry a ``horizon``
+    (derived from joins, publications, campaign actions and the settle
+    time) and run exactly that far — the full protocol's periodic tasks
+    never idle. ``publishers`` is None in dynamic mode: the publisher is
+    drawn among the members *alive at publication time*, which a build-time
+    pin cannot know.
+    """
 
     compiled: CompiledSpec
     seed: int
     system: Any
     counts: dict[Topic, int]
     schedule: list[ScheduledPublication]
-    publishers: dict[Topic, Any]
+    publishers: dict[Topic, Any] | None
     published: list = field(default_factory=list)
     executed: bool = False
+    horizon: float | None = None
+    campaign: FailureCampaign | None = None
 
     def execute(self) -> dict[str, float]:
-        """Replay the publication schedule to quiescence; return metrics."""
+        """Replay the publication schedule (to quiescence, or to the
+        dynamic horizon); return metrics."""
         if self.executed:
             raise ConfigError(
                 "scenario already executed; build a fresh one to re-run"
@@ -870,7 +1301,10 @@ class BuiltScenario:
         self.published = replay_on(
             self.system, self.schedule, publishers=self.publishers
         )
-        self.system.run_until_idle()
+        if self.horizon is None:
+            self.system.run_until_idle()
+        else:
+            self.system.run(until=self.horizon)
         self.executed = True
         return self.metrics()
 
@@ -934,6 +1368,12 @@ def compile_spec(spec: Mapping) -> CompiledSpec:
     if not isinstance(description, str):
         raise ConfigError("spec: 'description' must be a string")
 
+    mode = spec.get("mode", "static")
+    if mode not in ("static", "dynamic"):
+        raise ConfigError(
+            f"spec: 'mode' must be 'static' or 'dynamic', got {mode!r}"
+        )
+
     protocol, protocol_options = _validate_protocol(spec.get("protocol"))
     hierarchy, ordered_topics, is_chain = _validate_topics(spec["topics"])
     _validate_subscriptions(
@@ -945,7 +1385,39 @@ def compile_spec(spec: Mapping) -> CompiledSpec:
         hierarchy,
         is_chain,
     )
-    _validate_failures(spec.get("failures", {"kind": "none"}))
+    failures = spec.get("failures", {"kind": "none"})
+    _validate_failures(failures)
+    if mode == "dynamic":
+        if protocol != "daMulticast":
+            raise ConfigError(
+                "spec: mode 'dynamic' requires protocol 'daMulticast' "
+                f"(the baselines have no dynamic protocol), got {protocol!r}"
+            )
+        failures_kind = failures.get("kind")
+        if failures_kind in ("stillborn", "partition"):
+            raise ConfigError(
+                f"failures: kind {failures_kind!r} is a static-mode plan; "
+                "dynamic mode supports 'none', 'churn' or 'dynamic'"
+            )
+        if "dynamic" in spec:
+            _validate_dynamic(spec["dynamic"])
+        if "campaign" in spec:
+            if failures_kind == "dynamic":
+                raise ConfigError(
+                    "campaign: cannot combine with 'dynamic' failures — a "
+                    "campaign drives a crash/recover (churn) failure model"
+                )
+            _validate_campaign(
+                spec["campaign"], ordered_topics, hierarchy, is_chain
+            )
+    else:
+        for section in ("dynamic", "campaign"):
+            if section in spec:
+                raise ConfigError(
+                    f"spec: the {section!r} section requires mode 'dynamic'"
+                )
+    if "latency" in spec:
+        _validate_latency(spec["latency"], protocol)
     params, overrides = _validate_params(spec.get("params", {}), protocol)
     p_success = _get_number(
         spec, "p_success", "spec", default=1.0, minimum=0.0, maximum=1.0
@@ -960,6 +1432,7 @@ def compile_spec(spec: Mapping) -> CompiledSpec:
         description=description,
         protocol=protocol,
         protocol_options=dict(protocol_options),
+        mode=mode,
         hierarchy=hierarchy,
         ordered_topics=ordered_topics,
         is_chain=is_chain,

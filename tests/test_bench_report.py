@@ -35,6 +35,15 @@ RAW = {
             "stats": {"mean": 2.5, "min": 2.5, "rounds": 1},
             "extra_info": {"build_seconds": {"5000": 0.15}},
         },
+        {
+            "name": "test_dynamic_scenario_event_throughput",
+            "group": None,
+            "stats": {"mean": 0.05, "min": 0.04, "rounds": 3},
+            "extra_info": {
+                "events": 5000,
+                "scenario": "churn-recover (mode=dynamic)",
+            },
+        },
     ],
 }
 
@@ -47,7 +56,7 @@ class TestBenchReport:
         assert report["pr"] == "4"
         assert report["python"] == "3.12.0"
         assert report["commit"] == "abc123"
-        assert len(report["benches"]) == 2
+        assert len(report["benches"]) == 3
 
     def test_events_per_sec_derived(self):
         module = _load_module()
@@ -58,6 +67,19 @@ class TestBenchReport:
         throughput = benches["test_engine_event_throughput"]
         assert throughput["events_per_sec"] == 10000 / 0.01
         assert throughput["ops_per_sec"] == 1 / 0.01
+
+    def test_dynamic_scenario_row_included(self):
+        # The bench trajectory must cover the dynamic-protocol path: the
+        # dynamic-scenario bench reports engine callbacks as `events`, so
+        # its events/sec lands in BENCH_PR<k>.json like the static rows.
+        module = _load_module()
+        benches = {
+            bench["name"]: bench
+            for bench in module.build_report(RAW, pr="x")["benches"]
+        }
+        dynamic = benches["test_dynamic_scenario_event_throughput"]
+        assert dynamic["events_per_sec"] == 5000 / 0.05
+        assert dynamic["extra_info"]["scenario"].startswith("churn-recover")
         # No "events" in extra_info → no events_per_sec key.
         assert "events_per_sec" not in benches["test_membership_build"]
 

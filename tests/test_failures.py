@@ -180,6 +180,21 @@ class TestChurnSchedule:
         with pytest.raises(ConfigError):
             ChurnSchedule().crash_at(1, -1.0)
 
+    def test_non_finite_time_rejected(self):
+        # A NaN passes `time < 0` and would corrupt the binary-searched
+        # timeline (sorting and bisect comparisons on NaN are arbitrary).
+        with pytest.raises(ConfigError, match="finite"):
+            ChurnSchedule().crash_at(1, float("nan"))
+        with pytest.raises(ConfigError, match="finite"):
+            ChurnSchedule().recover_at(1, float("inf"))
+
+    def test_random_churn_non_finite_horizon_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigError, match="finite"):
+            ChurnSchedule.random_churn(
+                range(5), rng, crash_probability=0.5, horizon=float("nan")
+            )
+
     def test_random_churn_bounds(self):
         rng = random.Random(5)
         schedule = ChurnSchedule.random_churn(

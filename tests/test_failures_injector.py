@@ -42,6 +42,22 @@ class TestValidation:
         with pytest.raises(ConfigError):
             campaign.kill_fraction(1.0, 1.5)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_bad_action_times_rejected(self, bad):
+        # Same NaN hazard as ChurnSchedule._add: an unguarded action time
+        # would be scheduled at a NaN timestamp and poison the heap order.
+        system, schedule, campaign = build()
+        with pytest.raises(ConfigError):
+            campaign.kill_fraction(bad, 0.5)
+        with pytest.raises(ConfigError):
+            campaign.kill_super_links(bad, T2)
+        with pytest.raises(ConfigError):
+            campaign.recover(bad, [1])
+        with pytest.raises(ConfigError):
+            campaign.recover_fraction(bad, 0.5)
+        with pytest.raises(ConfigError):
+            campaign.recover_all(bad)
+
 
 class TestKillFraction:
     def test_kills_expected_share_of_group(self):
@@ -109,6 +125,28 @@ class TestRecovery:
         campaign.recover_all(15.0)
         system.run(until=16.0)
         assert all(schedule.is_alive(pid, 16.0) for pid in system.group_pids(T1))
+
+    def test_recover_fraction(self):
+        system, schedule, campaign = build()
+        campaign.kill_fraction(5.0, 1.0, topic=T1)
+        campaign.recover_fraction(15.0, 0.5)
+        system.run(until=16.0)
+        alive = [
+            pid
+            for pid in system.group_pids(T1)
+            if schedule.is_alive(pid, 16.0)
+        ]
+        assert len(alive) == round(8 * 0.5)
+        # The log records exactly the recovered sample.
+        recovered = [
+            pids for _, kind, pids in campaign.log.actions if kind == "recover"
+        ]
+        assert len(recovered) == 1 and sorted(recovered[0]) == sorted(alive)
+
+    def test_recover_fraction_invalid(self):
+        system, schedule, campaign = build()
+        with pytest.raises(ConfigError):
+            campaign.recover_fraction(1.0, 1.5)
 
     def test_recover_specific(self):
         system, schedule, campaign = build()

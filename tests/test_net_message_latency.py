@@ -88,6 +88,14 @@ class TestLatencyModels:
         with pytest.raises(ConfigError):
             ConstantLatency(-1.0)
 
+    def test_constant_rejects_non_finite(self):
+        # `nan < 0` is False, so an unguarded constructor would accept a
+        # NaN delay and schedule deliveries at NaN timestamps.
+        with pytest.raises(ConfigError, match="finite"):
+            ConstantLatency(float("nan"))
+        with pytest.raises(ConfigError, match="finite"):
+            ConstantLatency(float("inf"))
+
     def test_uniform_bounds(self):
         rng = random.Random(1)
         model = UniformLatency(1.0, 3.0)
@@ -101,6 +109,13 @@ class TestLatencyModels:
         with pytest.raises(ConfigError):
             UniformLatency(-1.0, 1.0)
 
+    def test_uniform_rejects_non_finite(self):
+        # NaN bounds pass `low < 0 or high < low` (both comparisons False).
+        with pytest.raises(ConfigError, match="finite"):
+            UniformLatency(float("nan"), float("nan"))
+        with pytest.raises(ConfigError, match="finite"):
+            UniformLatency(0.0, float("inf"))
+
     def test_exponential_mean(self):
         rng = random.Random(2)
         model = ExponentialLatency(2.0)
@@ -113,7 +128,80 @@ class TestLatencyModels:
         with pytest.raises(ConfigError):
             ExponentialLatency(0.0)
 
+    def test_exponential_rejects_non_finite(self):
+        # `inf <= 0` is False, so an unguarded mean of inf was accepted
+        # and expovariate(1/inf) degenerated to rate-0 sampling.
+        with pytest.raises(ConfigError, match="finite"):
+            ExponentialLatency(float("inf"))
+        with pytest.raises(ConfigError, match="finite"):
+            ExponentialLatency(float("nan"))
+
     def test_reprs(self):
         assert "2.5" in repr(ConstantLatency(2.5))
         assert "Uniform" in repr(UniformLatency(0, 1))
         assert "Exponential" in repr(ExponentialLatency(1.0))
+
+
+class TestLinkClassLatency:
+    def _model(self):
+        from repro.net import LinkClassLatency
+
+        return LinkClassLatency(
+            ConstantLatency(0.1), {"inter": ConstantLatency(2.0)}
+        )
+
+    def test_unbound_falls_back_to_default(self):
+        rng = random.Random(0)
+        model = self._model()
+        assert model.sample(rng) == 0.1
+        assert model.sample_link(1, 2, rng) == 0.1
+
+    def test_bound_classifier_selects_override(self):
+        rng = random.Random(0)
+        model = self._model()
+        model.bind(lambda s, t: "inter" if (s, t) == (1, 2) else "intra")
+        assert model.sample_link(1, 2, rng) == 2.0
+        assert model.sample_link(2, 1, rng) == 0.1  # intra has no override
+
+    def test_unclassifiable_link_uses_default(self):
+        rng = random.Random(0)
+        model = self._model()
+        model.bind(lambda s, t: None)
+        assert model.sample_link(5, 6, rng) == 0.1
+
+    def test_rejects_bad_class_names(self):
+        from repro.net import LinkClassLatency
+
+        with pytest.raises(ConfigError):
+            LinkClassLatency(ConstantLatency(0.0), {"": ConstantLatency(1.0)})
+
+    def test_network_uses_per_link_delays(self):
+        from repro.net import LinkClassLatency, Network
+        from repro.sim import Engine
+
+        class Sink:
+            def __init__(self, pid):
+                self.pid = pid
+                self.received_at = []
+
+            def handle_message(self, message):
+                self.received_at.append(engine.now)
+
+        engine = Engine()
+        model = LinkClassLatency(
+            ConstantLatency(0.0), {"inter": ConstantLatency(3.0)}
+        )
+        model.bind(lambda s, t: "inter" if t == 2 else "intra")
+        network = Network(engine, random.Random(0), latency=model)
+        sinks = [Sink(i) for i in range(3)]
+        for sink in sinks:
+            network.register(sink)
+        from repro.net.message import Ping
+
+        ping = Ping(sender=0, nonce=1)
+        network.send(0, 1, ping)
+        network.send(0, 2, ping)
+        network.multicast(0, [1, 2], ping)
+        engine.run()
+        assert sinks[1].received_at == [0.0, 0.0]
+        assert sinks[2].received_at == [3.0, 3.0]

@@ -422,10 +422,13 @@ class TestPresets:
     def test_expected_catalog(self):
         assert preset_names() == [
             "baseline-compare",
+            "bootstrap-wave",
             "churn-heavy",
+            "churn-recover",
             "news-burst",
             "paper-vii",
             "partition-heal",
+            "super-link-attack",
             "zipf-feed",
         ]
 
