@@ -65,6 +65,9 @@ def build_report(raw: dict, pr: str) -> dict:
         events = extra_info.get("events")
         if isinstance(events, (int, float)) and mean:
             entry["events_per_sec"] = events / mean
+        bytes_per_process = extra_info.get("bytes_per_process")
+        if isinstance(bytes_per_process, (int, float)):
+            entry["bytes_per_process"] = bytes_per_process
         benches.append(entry)
     return {
         "schema": "repro-bench-v1",

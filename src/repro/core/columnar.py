@@ -1,0 +1,549 @@
+"""ColumnarStaticSystem — the §VII simulator at 10⁵–10⁶ processes.
+
+The object backend (:class:`~repro.core.system.DaMulticastSystem`) builds
+one :class:`~repro.core.process.DaMulticastProcess` per process — its own
+RNG stream, tables, descriptor, actor registration. That graph is what
+hits the wall around S≈10⁴. This backend keeps the *protocol* (the same
+Fig. 5/Fig. 7 code in :mod:`repro.core.dissemination` runs unchanged) but
+replaces the per-process state with:
+
+* **one pid block per group** — pids are contiguous, so membership lives
+  in :class:`~repro.membership.columnar.ColumnarGroupTables` pid arrays
+  and a process is just an index;
+* **one network actor per group** — a :class:`ColumnarGroupActor`
+  registered via :meth:`~repro.net.network.Network.register_block`
+  receives whole delivery batches (``handle_batch``) and walks them with
+  index arithmetic;
+* **one flyweight peer per group** — rebound to the acting member before
+  each ``disseminate`` call, so the protocol code sees the
+  :class:`~repro.core.dissemination.DisseminationPeer` interface without
+  a peer object per process;
+* **per-event seen bitmasks** — Fig. 5's first-reception dedup as one
+  ``bytearray(S)`` per in-flight event per group instead of a Python set
+  of event-id tuples per process.
+
+Construction is **bit-identical** to the object backend: the same
+``"static-membership"`` RNG stream, the same per-member interleaving of
+topic-table and super-table draws, the same branch structure (see
+membership/columnar.py) — pinned by :meth:`construction_digest` matching
+:meth:`DaMulticastSystem.construction_digest` on the S=500 golden.
+*Runtime* draws use per-group streams (``group/<topic>``): one Mersenne
+state per group instead of ~2.5 KB per process, statistically equivalent
+gossip, not trajectory-gated against the object backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Iterator
+
+from repro.core.dissemination import disseminate, should_deliver
+from repro.core.events import Event, EventId
+from repro.core.params import DaMulticastConfig, TopicParams
+from repro.errors import ConfigError, ProtocolError, UnknownTopic
+from repro.membership.columnar import ColumnarGroupTables, build_group_tables
+from repro.membership.static import nearest_populated_super
+from repro.net.latency import LatencyModel, ZERO_LATENCY
+from repro.net.message import EventMessage, Message
+from repro.failures.model import FailureModel
+from repro.runtime import SimulationHarness
+from repro.topics.hierarchy import TopicHierarchy
+from repro.topics.topic import Topic
+
+
+class _Ref:
+    """A pid/topic pair quacking like a ProcessDescriptor (transient,
+    built per dissemination from the pid columns)."""
+
+    __slots__ = ("pid", "topic")
+
+    def __init__(self, pid: int, topic: Topic):
+        self.pid = pid
+        self.topic = topic
+
+
+class _ColumnarTopicView:
+    """Flyweight topic-table view over the acting member's row."""
+
+    __slots__ = ("tables", "index")
+
+    def __init__(self, tables: ColumnarGroupTables):
+        self.tables = tables
+        self.index = 0
+
+    def sample(
+        self, k: int, rng: random.Random, exclude: Any = ()
+    ) -> list[_Ref]:
+        """Index-based uniform draw off the member's pid row.
+
+        ``exclude`` is accepted for interface parity and ignored: the
+        member's own pid is excluded at construction time, and the static
+        protocol never excludes anything else.
+        """
+        tables = self.tables
+        topic = tables.topic
+        return [
+            _Ref(pid, topic)
+            for pid in tables.sample_row(self.index, k, rng)
+        ]
+
+    def __len__(self) -> int:
+        return self.tables.stride
+
+
+class _ColumnarSuperView:
+    """Flyweight ``sTable`` view over the acting member's super row."""
+
+    __slots__ = ("tables", "index")
+
+    def __init__(self, tables: ColumnarGroupTables):
+        self.tables = tables
+        self.index = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tables.super_stride == 0
+
+    @property
+    def target_topic(self) -> Topic | None:
+        return self.tables.super_topic
+
+    def descriptors(self) -> tuple[_Ref, ...]:
+        tables = self.tables
+        super_topic = tables.super_topic
+        return tuple(
+            _Ref(pid, super_topic)
+            for pid in tables.super_row_pids(self.index)
+        )
+
+    def __len__(self) -> int:
+        return self.tables.super_stride
+
+
+class _MemberPeer:
+    """The flyweight :class:`DisseminationPeer`: one instance per group,
+    rebound (pid + view indices) to the acting member per dissemination."""
+
+    __slots__ = (
+        "pid", "topic", "rng", "params", "group_size",
+        "_network", "_topic_view", "_super_view",
+    )
+
+    def __init__(
+        self,
+        tables: ColumnarGroupTables,
+        params: TopicParams,
+        network,
+        rng: random.Random,
+    ):
+        self.pid = tables.base
+        self.topic = tables.topic
+        self.rng = rng
+        self.params = params
+        self.group_size = tables.size
+        self._network = network
+        self._topic_view = _ColumnarTopicView(tables)
+        self._super_view = _ColumnarSuperView(tables)
+
+    def bind(self, index: int, base: int) -> None:
+        self.pid = base + index
+        self._topic_view.index = index
+        self._super_view.index = index
+
+    def topic_table(self) -> _ColumnarTopicView:
+        return self._topic_view
+
+    @property
+    def super_table(self) -> _ColumnarSuperView:
+        return self._super_view
+
+    def send(self, target: int, message: Message) -> None:
+        self._network.send(self.pid, target, message)
+
+    def multicast(self, targets, message: Message) -> None:
+        self._network.multicast(self.pid, targets, message)
+
+
+class ColumnarGroupActor:
+    """One block actor running Fig. 5's RECEIVE for a whole group."""
+
+    __slots__ = ("topic", "tables", "engine", "tracker", "_peer", "_seen")
+
+    def __init__(
+        self,
+        tables: ColumnarGroupTables,
+        params: TopicParams,
+        engine,
+        network,
+        rng: random.Random,
+        tracker,
+    ):
+        self.topic = tables.topic
+        self.tables = tables
+        self.engine = engine
+        self.tracker = tracker
+        self._peer = _MemberPeer(tables, params, network, rng)
+        #: event_id -> seen bitmask (1 byte per member, per in-flight event)
+        self._seen: dict[EventId, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    # Network entry point
+    # ------------------------------------------------------------------
+    def handle_batch(self, sender: int, targets, message: Message) -> None:
+        """Deliver one message to every target index of this group."""
+        if not isinstance(message, EventMessage):
+            raise ProtocolError(
+                f"columnar group {self.topic.name} cannot handle "
+                f"{type(message).__name__}"
+            )
+        event = message.event
+        # Property 4 (no parasite messages), asserted once per batch —
+        # every target shares this group's topic.
+        if not should_deliver(event, self.topic):
+            raise ProtocolError(
+                f"parasite delivery: group {self.topic.name} got event of "
+                f"{event.topic.name}"
+            )
+        mask = self._seen.get(event.event_id)
+        if mask is None:
+            mask = self._seen[event.event_id] = bytearray(self.tables.size)
+        base = self.tables.base
+        hops = message.hops
+        now = self.engine.now
+        tracker = self.tracker
+        for pid in targets:
+            index = pid - base
+            if mask[index]:
+                continue  # Fig. 5: later copies are ignored
+            mask[index] = 1
+            if tracker is not None:
+                tracker.record_delivery(pid, event, now, hops=hops)
+            self._disseminate_from(index, event, arrival_hops=hops)
+
+    def _disseminate_from(
+        self,
+        index: int,
+        event: Event,
+        *,
+        arrival_hops: int,
+        force_link: bool = False,
+    ) -> None:
+        peer = self._peer
+        peer.bind(index, self.tables.base)
+        disseminate(
+            peer, event, force_link=force_link, arrival_hops=arrival_hops
+        )
+
+    # ------------------------------------------------------------------
+    # Publishing (driven by the system facade)
+    # ------------------------------------------------------------------
+    def publish_from(
+        self, index: int, event: Event, *, force_link: bool
+    ) -> None:
+        """Fig. 7 lines 1-2 for the member at ``index``: deliver locally,
+        then disseminate (the publisher has already been recorded)."""
+        mask = self._seen.get(event.event_id)
+        if mask is None:
+            mask = self._seen[event.event_id] = bytearray(self.tables.size)
+        mask[index] = 1
+        if self.tracker is not None:
+            self.tracker.record_delivery(
+                self.tables.base + index, event, self.engine.now, hops=0
+            )
+        self._disseminate_from(
+            index, event, arrival_hops=0, force_link=force_link
+        )
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def seen_count(self, event_id: EventId) -> int:
+        """How many group members have seen ``event_id``."""
+        mask = self._seen.get(event_id)
+        return sum(mask) if mask is not None else 0
+
+    def release_event_state(self, event_id: EventId) -> None:
+        """Drop the seen bitmask of a finished event (dedup state is only
+        needed while copies are still in flight)."""
+        self._seen.pop(event_id, None)
+
+    def clear_event_state(self) -> None:
+        """Drop every seen bitmask (e.g. between measurement rounds)."""
+        self._seen.clear()
+
+    def membership_bytes(self) -> int:
+        """Bytes of frozen membership state for the whole group."""
+        return self.tables.nbytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarGroupActor({self.topic.name}, S={self.tables.size}, "
+            f"in_flight={len(self._seen)})"
+        )
+
+
+class ColumnarStaticSystem:
+    """The paper's static-mode simulator over columnar group state.
+
+    API mirrors the static subset of :class:`DaMulticastSystem`
+    (``add_group`` / ``finalize_static_membership`` / ``publish`` /
+    ``run_until_idle`` / ``construction_digest``), with two scale-driven
+    differences: each topic gets exactly one contiguous pid block (one
+    ``add_group`` call per topic), and the delivery tracker defaults to
+    the O(topics) streaming mode.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: DaMulticastConfig | None = None,
+        seed: int = 0,
+        p_success: float = 1.0,
+        latency: LatencyModel = ZERO_LATENCY,
+        failure_model: FailureModel | None = None,
+        tracker: str = "streaming",
+        trace: bool = False,
+    ):
+        self.config = config or DaMulticastConfig()
+        self.harness = SimulationHarness(
+            seed=seed,
+            p_success=p_success,
+            latency=latency,
+            failure_model=failure_model,
+            trace=trace,
+            tracker=tracker,
+        )
+        self.hierarchy = TopicHierarchy()
+        self._blocks: dict[Topic, range] = {}
+        self._actors: dict[Topic, ColumnarGroupActor] = {}
+        #: lazily cached alive pids per topic (static failure models are
+        #: time-invariant in this mode, matching the §VII setting)
+        self._alive_cache: dict[Topic, list[int]] = {}
+        self._publish_seq: dict[int, int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The discrete-event engine."""
+        return self.harness.engine
+
+    @property
+    def network(self):
+        """The unreliable network."""
+        return self.harness.network
+
+    @property
+    def stats(self):
+        """Network statistics (message counts per kind/group)."""
+        return self.harness.stats
+
+    @property
+    def tracker(self):
+        """The delivery tracker (streaming by default)."""
+        return self.harness.tracker
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.harness.now
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Advance the simulation."""
+        return self.harness.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 100_000_000) -> int:
+        """Run to quiescence."""
+        return self.harness.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_group(self, topic: Topic | str, count: int) -> range:
+        """Reserve one contiguous pid block of ``count`` processes for
+        ``topic``; returns the pid range. One call per topic."""
+        if self._finalized:
+            raise ConfigError("membership already finalized")
+        resolved = self.hierarchy.add(topic)
+        if resolved in self._blocks:
+            raise ConfigError(
+                f"columnar backend: group {resolved.name} already added "
+                "(one contiguous pid block per topic)"
+            )
+        block = self.harness.reserve_pid_block(count)
+        self._blocks[resolved] = block
+        return block
+
+    def finalize_static_membership(self) -> None:
+        """Draw all membership columns once, from global knowledge.
+
+        Same RNG stream, group order, and per-member draw interleaving as
+        the object backend's ``finalize_static_membership`` — the S=500
+        construction-digest golden pins the equality.
+        """
+        if self._finalized:
+            raise ConfigError("membership already finalized")
+        if not self._blocks:
+            raise ConfigError("no groups added")
+        rng = self.harness.rngs.stream("static-membership")
+        population = self._blocks
+        for topic, block in self._blocks.items():
+            params = self.config.params_for(topic)
+            capacity = params.table_capacity(len(block))
+            super_topic = nearest_populated_super(topic, population)
+            if super_topic is not None:
+                super_block = population[super_topic]
+                super_base, super_size = super_block.start, len(super_block)
+            else:
+                super_base = super_size = 0
+            tables = build_group_tables(
+                topic,
+                block.start,
+                len(block),
+                capacity,
+                rng,
+                super_topic=super_topic,
+                super_base=super_base,
+                super_size=super_size,
+                z=params.z,
+            )
+            actor = ColumnarGroupActor(
+                tables,
+                params,
+                self.engine,
+                self.network,
+                self.harness.rngs.stream(f"group/{topic.name}"),
+                self.tracker,
+            )
+            self.network.register_block(actor, block.start, block.stop)
+            self._actors[topic] = actor
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        topic: Topic | str,
+        payload: Any = None,
+        *,
+        publisher_pid: int | None = None,
+    ) -> Event:
+        """Publish one event on ``topic`` from an alive group member
+        (uniformly chosen when ``publisher_pid`` is not given)."""
+        if not self._finalized:
+            raise ConfigError(
+                "columnar backend: call finalize_static_membership() "
+                "before publishing"
+            )
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        block = self._blocks.get(resolved)
+        if block is None:
+            raise UnknownTopic(f"no group for topic {resolved.name}")
+        if publisher_pid is None:
+            alive = self._alive_pids(resolved)
+            if not alive:
+                raise UnknownTopic(
+                    f"no alive process interested in {resolved.name} "
+                    "to publish from"
+                )
+            publisher_pid = self.harness.rngs.stream("publish").choice(alive)
+        elif publisher_pid not in block:
+            raise ConfigError(
+                f"pid {publisher_pid} is not a member of {resolved.name}"
+            )
+        sequence = self._publish_seq.get(publisher_pid, 0) + 1
+        self._publish_seq[publisher_pid] = sequence
+        event = Event(
+            event_id=EventId(publisher_pid, sequence),
+            topic=resolved,
+            payload=payload,
+            published_at=self.now,
+        )
+        if self.tracker is not None:
+            self.tracker.record_publish(event, publisher_pid)
+        self._actors[resolved].publish_from(
+            publisher_pid - block.start,
+            event,
+            force_link=self.config.publisher_always_links,
+        )
+        return event
+
+    def _alive_pids(self, topic: Topic) -> list[int]:
+        alive = self._alive_cache.get(topic)
+        if alive is None:
+            is_alive = self.harness.is_alive
+            alive = self._alive_cache[topic] = [
+                pid for pid in self._blocks[topic] if is_alive(pid)
+            ]
+        return alive
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def topics(self) -> list[Topic]:
+        """All topics with a group, in pid-block order."""
+        return list(self._blocks)
+
+    def group_pids(self, topic: Topic | str) -> list[int]:
+        """The pid block of ``topic``'s group."""
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        block = self._blocks.get(resolved)
+        return list(block) if block is not None else []
+
+    def group_actor(self, topic: Topic | str) -> ColumnarGroupActor:
+        """The block actor running ``topic``'s group."""
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        try:
+            return self._actors[resolved]
+        except KeyError:
+            raise UnknownTopic(f"no group for topic {resolved.name}") from None
+
+    def seen_fraction(self, event: Event, topic: Topic | str) -> float:
+        """Fraction of ``topic``'s group that received ``event`` (off the
+        group's seen bitmask — works with the streaming tracker)."""
+        resolved = Topic.parse(topic) if isinstance(topic, str) else topic
+        actor = self.group_actor(resolved)
+        size = actor.tables.size
+        return actor.seen_count(event.event_id) / size if size else 1.0
+
+    def membership_bytes(self) -> int:
+        """Total frozen membership bytes across every group's columns."""
+        return sum(a.membership_bytes() for a in self._actors.values())
+
+    def processes(self) -> Iterator[int]:
+        """Every pid, ascending (blocks are allocated in group order)."""
+        for block in self._blocks.values():
+            yield from block
+
+    def construction_digest(self) -> str:
+        """SHA-256 over every member's table contents, in pid order —
+        byte-compatible with :meth:`DaMulticastSystem.construction_digest`,
+        and with the S=500 golden in tests/test_golden_static.py."""
+        if not self._finalized:
+            raise ConfigError("finalize_static_membership() first")
+        digest = hashlib.sha256()
+        for topic, block in self._blocks.items():
+            tables = self._actors[topic].tables
+            target = str(tables.super_topic).encode()
+            for index in range(len(block)):
+                digest.update(b"T")
+                digest.update(
+                    ",".join(map(str, tables.row_pids(index))).encode()
+                )
+                digest.update(b"S")
+                digest.update(
+                    ",".join(map(str, tables.super_row_pids(index))).encode()
+                )
+                digest.update(target)
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:
+        total = sum(len(block) for block in self._blocks.values())
+        return (
+            f"ColumnarStaticSystem(processes={total}, "
+            f"groups={len(self._blocks)}, finalized={self._finalized})"
+        )

@@ -21,6 +21,7 @@ Two modes mirror the paper's two settings:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Mapping
 
 from repro.core.events import Event
@@ -380,6 +381,28 @@ class DaMulticastSystem:
     def memory_footprints(self, topic: Topic | str) -> list[int]:
         """Measured membership state per process of a group (§VI-C)."""
         return [p.memory_footprint for p in self.group(topic)]
+
+    def construction_digest(self) -> str:
+        """SHA-256 over every process's table contents, in pid order.
+
+        Byte-compatible with the loop that produced the S=500 golden in
+        tests/test_golden_static.py, and with
+        :meth:`repro.core.columnar.ColumnarStaticSystem.construction_digest`
+        — the CI gate asserting the columnar backend reproduces the object
+        backend's membership bit-for-bit compares these two strings.
+        """
+        digest = hashlib.sha256()
+        for process in self.processes:
+            digest.update(b"T")
+            digest.update(
+                ",".join(map(str, process.topic_table().pids)).encode()
+            )
+            digest.update(b"S")
+            digest.update(
+                ",".join(map(str, process.super_table.pids)).encode()
+            )
+            digest.update(str(process.super_table.target_topic).encode())
+        return digest.hexdigest()
 
     def __repr__(self) -> str:
         return (

@@ -59,3 +59,12 @@ class MembershipError(ReproError):
 
 class ProtocolError(ReproError):
     """A protocol message violated the daMulticast state machine."""
+
+
+class MetricsError(ReproError):
+    """A metrics query is unsupported by the active tracker mode.
+
+    Raised by the streaming delivery tracker when a per-event /
+    per-receiver query is made — those need O(messages) state the
+    streaming mode exists to avoid; run with the full tracker instead.
+    """

@@ -13,12 +13,21 @@ package implements:
   and the §V-A.2 piggybacking hook for supertopic-table entries),
 * :mod:`~repro.membership.static` — the paper's §VII simulation mode where
   all tables are drawn once at time zero and frozen,
+* :mod:`~repro.membership.columnar` — the same frozen tables stored as
+  contiguous pid arrays (one block per group, bit-identical construction
+  draws) for 10⁵–10⁶-process runs,
 * :class:`~repro.membership.overlay.BootstrapOverlay` — the weakly
   consistent global overlay providing ``neighborhood(p)`` for the Fig. 4
   bootstrap search.
 """
 
 from repro.membership.view import PartialView, ProcessDescriptor
+from repro.membership.columnar import (
+    ColumnarGroupTables,
+    ColumnarSuperBuilder,
+    ColumnarTableBuilder,
+    build_group_tables,
+)
 from repro.membership.flat import FlatMembership, FlatMembershipConfig
 from repro.membership.overlay import BootstrapOverlay
 from repro.membership.static import (
@@ -32,6 +41,10 @@ from repro.membership.static import (
 __all__ = [
     "ProcessDescriptor",
     "PartialView",
+    "ColumnarGroupTables",
+    "ColumnarTableBuilder",
+    "ColumnarSuperBuilder",
+    "build_group_tables",
     "FlatMembership",
     "FlatMembershipConfig",
     "BootstrapOverlay",

@@ -99,6 +99,16 @@ class FlatMembershipConfig:
 class FlatMembership:
     """One process's participation in its group's membership protocol."""
 
+    # Fixed attribute set: large dynamic-mode populations instantiate one
+    # of these per process, and the per-instance __dict__ was measurable
+    # against the view it wraps.
+    __slots__ = (
+        "owner", "group", "config", "_engine", "_rng", "_send",
+        "_multicast", "_super_sample_provider", "_super_sample_consumer",
+        "view", "_pending_shuffles", "_tombstones", "_task", "started",
+    )
+
+    #: class-level so nonces stay unique across every instance
     _nonce_counter = itertools.count(1)
 
     def __init__(

@@ -44,10 +44,29 @@ class BootstrapOverlay:
         population = list(descriptors)
         self._descriptors = {d.pid: d for d in population}
         self._contacts.clear()
-        for descriptor in population:
-            others = [d for d in population if d.pid != descriptor.pid]
-            k = min(self.degree, len(others))
-            self._contacts[descriptor.pid] = rng.sample(others, k) if k else []
+        n = len(population)
+        if len(self._descriptors) == n:
+            # Unique pids (the normal case): draw *positions* in the
+            # member-removed list and map them back with index arithmetic
+            # (r below the member's index, r+1 at or above it). Same
+            # draws as sampling an explicit exclusion list — sample() is
+            # purely positional — without materialising an O(n) list per
+            # member, which made this build O(n²).
+            k = min(self.degree, n - 1)
+            for index, descriptor in enumerate(population):
+                self._contacts[descriptor.pid] = [
+                    population[r if r < index else r + 1]
+                    for r in rng.sample(range(n - 1), k)
+                ] if k else []
+        else:
+            # Duplicate pids: keep the historical every-occurrence
+            # exclusion semantics.
+            for descriptor in population:
+                others = [d for d in population if d.pid != descriptor.pid]
+                k = min(self.degree, len(others))
+                self._contacts[descriptor.pid] = (
+                    rng.sample(others, k) if k else []
+                )
 
     def add_process(
         self, descriptor: ProcessDescriptor, rng: random.Random

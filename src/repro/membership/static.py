@@ -94,25 +94,27 @@ def _sample_setsize(k: int) -> int:
     return setsize
 
 
-def _sample_inline(
-    population: Sequence[ProcessDescriptor],
+def _sample_positions_inline(
     n: int,
     k: int,
     nbits: int,
     rng: random.Random,
-) -> list[ProcessDescriptor]:
-    """``rng.sample(population[:n], k)`` via the inlined selection-set loop.
+) -> list[int]:
+    """``rng.sample(range(n), k)`` via the inlined selection-set loop.
 
     Caller guarantees ``n > _sample_setsize(k)`` (the branch
     ``random.sample`` itself would take) and ``nbits == n.bit_length()``.
     Draw-for-draw identical to the stdlib: each selection draws
     ``getrandbits(nbits)`` rejecting values ``>= n``, then redraws while the
-    index was already selected.
+    index was already selected. Returning bare *positions* lets the
+    columnar backend map them straight into pid arrays, while
+    :func:`_sample_inline` maps them through a descriptor list — both
+    consume the identical ``getrandbits`` stream.
     """
     getrandbits = rng.getrandbits
     selected: set[int] = set()
     selected_add = selected.add
-    chosen: list[ProcessDescriptor] = [None] * k  # type: ignore[list-item]
+    chosen: list[int] = [0] * k
     for t in range(k):
         r = getrandbits(nbits)
         while r >= n:
@@ -122,8 +124,22 @@ def _sample_inline(
             while r >= n:
                 r = getrandbits(nbits)
         selected_add(r)
-        chosen[t] = population[r]
+        chosen[t] = r
     return chosen
+
+
+def _sample_inline(
+    population: Sequence[ProcessDescriptor],
+    n: int,
+    k: int,
+    nbits: int,
+    rng: random.Random,
+) -> list[ProcessDescriptor]:
+    """``rng.sample(population[:n], k)`` via the inlined selection-set loop
+    (see :func:`_sample_positions_inline` for the contract)."""
+    return [
+        population[r] for r in _sample_positions_inline(n, k, nbits, rng)
+    ]
 
 
 class GroupTableBuilder:

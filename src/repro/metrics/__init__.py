@@ -13,15 +13,20 @@ from repro.metrics.delivery import (
     delivered_fraction,
     all_received,
     parasite_deliveries,
+    topic_delivery_summary,
 )
+from repro.metrics.streaming import StreamingDeliveryTracker, TopicDeliveryStats
 from repro.metrics.paths import hop_distribution, hops_by_group, max_hops, mean_hops
 from repro.metrics.report import Table, format_series, render_table
 
 __all__ = [
     "DeliveryTracker",
+    "StreamingDeliveryTracker",
+    "TopicDeliveryStats",
     "delivered_fraction",
     "all_received",
     "parasite_deliveries",
+    "topic_delivery_summary",
     "OverlayStats",
     "overlay_stats",
     "views_of",

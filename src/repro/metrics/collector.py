@@ -10,8 +10,13 @@ records the raw (event, pid, time) triples and the queries in
 from __future__ import annotations
 
 from collections import defaultdict
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.core.events import Event, EventId
+
+#: shared empty read-only mapping for unknown event ids
+_NO_RECEIVERS: Mapping[int, float] = MappingProxyType({})
 
 
 class DeliveryTracker:
@@ -68,13 +73,28 @@ class DeliveryTracker:
         """The pid that published ``event_id`` (None if unknown)."""
         return self._publisher.get(event_id)
 
-    def receivers(self, event_id: EventId) -> dict[int, float]:
-        """pid → first-delivery time for ``event_id``."""
-        return dict(self._receivers.get(event_id, {}))
+    def receivers(self, event_id: EventId) -> Mapping[int, float]:
+        """pid → first-delivery time for ``event_id``.
+
+        Returns a *read-only view* of the live per-event dict — O(1), no
+        copy. The historical ``dict(...)`` copy made every reliability
+        query O(deliveries) per call (``delivered_fraction`` probes ``pid
+        in receivers`` per group member, and paid a full copy first);
+        membership tests against the view hit the underlying dict
+        directly. Callers needing a snapshot that survives later
+        deliveries should copy explicitly.
+        """
+        receivers = self._receivers.get(event_id)
+        return _NO_RECEIVERS if receivers is None else MappingProxyType(receivers)
 
     def received_by(self, event_id: EventId, pid: int) -> bool:
         """Whether ``pid`` delivered ``event_id``."""
-        return pid in self._receivers.get(event_id, {})
+        return pid in self._receivers.get(event_id, _NO_RECEIVERS)
+
+    def delivered(self, event_id: EventId, pid: int) -> bool:
+        """O(1) membership fast path (alias of :meth:`received_by`,
+        named for the reliability queries in :mod:`repro.metrics.delivery`)."""
+        return pid in self._receivers.get(event_id, _NO_RECEIVERS)
 
     def delivery_count(self, event_id: EventId) -> int:
         """Number of distinct processes that delivered ``event_id``."""

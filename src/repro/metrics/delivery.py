@@ -30,7 +30,17 @@ def delivered_fraction(
 ) -> float:
     """Fraction of (alive) ``group_pids`` that delivered ``event_id``.
 
-    Returns 1.0 for an empty group: vacuously, everyone interested got it.
+    Returns 1.0 when no alive member remains — an empty group, or a group
+    whose every member is dead. Both are the same vacuous-truth
+    convention :func:`all_received` applies: with nobody left who *could*
+    receive, reliability is trivially met. The all-dead case matters under
+    heavy stillborn failure (Fig. 10's low alive fractions can kill a
+    whole small group); both queries deliberately agree on it, and
+    tests/test_metrics.py pins the agreement.
+
+    O(alive) per call: :meth:`DeliveryTracker.receivers` is a read-only
+    view over the live per-event dict, so each membership probe is one
+    dict lookup — no per-call copy of the delivery records.
     """
     alive = [pid for pid in group_pids if is_alive(pid)]
     if not alive:
@@ -46,7 +56,12 @@ def all_received(
     group_pids: Iterable[int],
     is_alive: Callable[[int], bool] = lambda pid: True,
 ) -> bool:
-    """§VI-D's reliability indicator: did *every* alive member deliver it?"""
+    """§VI-D's reliability indicator: did *every* alive member deliver it?
+
+    Vacuously True when no alive member remains (empty group or all
+    members dead) — the same convention as :func:`delivered_fraction`
+    returning 1.0, so the two queries never disagree about a dead group.
+    """
     receivers = tracker.receivers(event_id)
     return all(pid in receivers for pid in group_pids if is_alive(pid))
 
@@ -89,3 +104,39 @@ def mean_delivery_latency(
     if not times:
         return None
     return sum(t - event.published_at for t in times) / len(times)
+
+
+def topic_delivery_summary(
+    tracker,
+    topic: Topic,
+) -> dict[str, float | int | None]:
+    """Per-topic delivery aggregates from *either* tracker flavour.
+
+    Returns ``{"published", "delivered", "mean_latency"}`` for ``topic``.
+    With a :class:`~repro.metrics.streaming.StreamingDeliveryTracker` the
+    numbers come straight off its O(topics) aggregates; with the full
+    :class:`DeliveryTracker` they are folded from the raw per-event
+    records on the fly — identical results, so figures code can run
+    unchanged at either scale.
+    """
+    if getattr(tracker, "mode", "full") == "streaming":
+        stats = tracker.topic_stats(topic)
+        return {
+            "published": stats.published,
+            "delivered": stats.delivered,
+            "mean_latency": stats.mean_latency,
+        }
+    published = delivered = 0
+    latency_sum = 0.0
+    for event in tracker.events:
+        if event.topic != topic:
+            continue
+        published += 1
+        times = tracker.delivery_times(event.event_id)
+        delivered += len(times)
+        latency_sum += sum(t - event.published_at for t in times)
+    return {
+        "published": published,
+        "delivered": delivered,
+        "mean_latency": (latency_sum / delivered) if delivered else None,
+    }

@@ -33,14 +33,13 @@ vectorized pass over a target list:
   ``record_dropped_many`` / ``record_delivered_many``), once per outcome
   class instead of once per destination;
 * surviving deliveries that share a latency share **one** engine entry —
-  a single vectorized delivery thunk per latency class instead of one
-  closure and one heap push per destination; with zero latency (the
-  paper's synchronous rounds, the dominant case) an entire fan-out is one
-  entry in the engine's FIFO bucket. Note the accounting consequence:
-  ``Engine.processed``/``pending`` count that thunk as *one* callback,
-  where a loop of sends counted one per destination (callers needing
-  per-callback granularity can use
-  :meth:`repro.sim.engine.Engine.schedule_batch` instead);
+  an applied ``(fn, args)`` array-batch entry per latency class
+  (:meth:`repro.sim.engine.Engine.schedule_apply`) instead of one closure
+  and one heap push per destination; with zero latency (the paper's
+  synchronous rounds, the dominant case) an entire fan-out is one entry in
+  the engine's FIFO bucket. The entry carries ``count=len(batch)``, so
+  ``Engine.processed``/``pending`` account per destination exactly like a
+  loop of sends;
 * stage-known no-op models (``AlwaysAlive``, ``FullyConnected``, constant
   latency) are detected once per multicast and skipped per target — they
   consume no randomness, so skipping them cannot change a trajectory.
@@ -53,12 +52,18 @@ delivery timestamp — identical outcomes unless an actor's
 at that same instant, which no in-repo model does.
 
 Actors are any objects with a ``pid`` attribute and a
-``handle_message(message)`` method.
+``handle_message(message)`` method. At columnar scale one Python object
+per process is itself the memory wall, so :meth:`Network.register_block`
+registers a single *block actor* for a contiguous pid range ``[start,
+stop)``; it receives whole delivery batches through
+``handle_batch(sender, targets, message)`` instead of one
+``handle_message`` call per pid.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from typing import Iterable, Protocol, runtime_checkable
 
 from repro.errors import ConfigError, UnknownActor
@@ -89,6 +94,22 @@ class Actor(Protocol):
         ...  # pragma: no cover - protocol
 
 
+@runtime_checkable
+class BlockActor(Protocol):
+    """One actor standing in for a contiguous pid range.
+
+    The columnar backend registers a single object per *group* rather than
+    one per process; the network hands it delivery batches with the
+    resolved target pids so the actor can index straight into its arrays.
+    """
+
+    def handle_batch(
+        self, sender: int, targets: "tuple[int, ...]", message: Message
+    ) -> None:
+        """Process one message delivered to every pid in ``targets``."""
+        ...  # pragma: no cover - protocol
+
+
 class Network:
     """Best-effort message transport over the simulation engine."""
 
@@ -115,6 +136,11 @@ class Network:
         self.stats = stats if stats is not None else NetworkStats()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self._actors: dict[int, Actor] = {}
+        #: block actors: sorted, non-overlapping (start, stop, actor) ranges
+        self._blocks: list[tuple[int, int, BlockActor]] = []
+        self._block_starts: list[int] = []
+        #: last resolved block — fan-outs target one group, so this hits
+        self._block_cache: tuple[int, int, BlockActor] | None = None
 
     # ------------------------------------------------------------------
     # Latency (the per-link hook is resolved once per model, not per send)
@@ -138,27 +164,76 @@ class Network:
     def register(self, actor: Actor) -> None:
         """Attach an actor; its ``pid`` must be unique on this network."""
         pid = actor.pid
-        if pid in self._actors:
+        if pid in self._actors or self._block_for(pid) is not None:
             raise ConfigError(f"process id {pid} is already registered")
         self._actors[pid] = actor
 
-    def actor(self, pid: int) -> Actor:
-        """Look an actor up by process id."""
-        try:
-            return self._actors[pid]
-        except KeyError:
-            raise UnknownActor(f"no actor registered with pid {pid}") from None
+    def register_block(self, actor: BlockActor, start: int, stop: int) -> None:
+        """Attach one block actor covering the pid range ``[start, stop)``.
+
+        The range must be non-empty and must not overlap any registered
+        pid — per-pid or block. Deliveries to any pid in the range reach
+        ``actor.handle_batch(sender, targets, message)``.
+        """
+        if stop <= start:
+            raise ConfigError(f"empty pid block [{start}, {stop})")
+        for b_start, b_stop, _ in self._blocks:
+            if start < b_stop and b_start < stop:
+                raise ConfigError(
+                    f"pid block [{start}, {stop}) overlaps [{b_start}, {b_stop})"
+                )
+        for pid in self._actors:
+            if start <= pid < stop:
+                raise ConfigError(
+                    f"pid block [{start}, {stop}) overlaps registered pid {pid}"
+                )
+        self._blocks.append((start, stop, actor))
+        self._blocks.sort(key=lambda block: block[0])
+        self._block_starts = [block[0] for block in self._blocks]
+        self._block_cache = None
+
+    def _block_for(self, pid: int) -> BlockActor | None:
+        """The block actor owning ``pid``, or None."""
+        cached = self._block_cache
+        if cached is not None and cached[0] <= pid < cached[1]:
+            return cached[2]
+        starts = self._block_starts
+        if not starts:
+            return None
+        index = bisect_right(starts, pid) - 1
+        if index >= 0:
+            block = self._blocks[index]
+            if pid < block[1]:
+                self._block_cache = block
+                return block[2]
+        return None
+
+    def actor(self, pid: int) -> Actor | BlockActor:
+        """Look an actor up by process id (a block pid resolves to its
+        block actor)."""
+        actor = self._actors.get(pid)
+        if actor is not None:
+            return actor
+        block = self._block_for(pid)
+        if block is not None:
+            return block
+        raise UnknownActor(f"no actor registered with pid {pid}")
 
     def __contains__(self, pid: int) -> bool:
-        return pid in self._actors
+        return pid in self._actors or self._block_for(pid) is not None
 
     def __len__(self) -> int:
-        return len(self._actors)
+        return len(self._actors) + sum(
+            stop - start for start, stop, _ in self._blocks
+        )
 
     @property
     def pids(self) -> list[int]:
         """All registered process ids, sorted."""
-        return sorted(self._actors)
+        pids = list(self._actors)
+        for start, stop, _ in self._blocks:
+            pids.extend(range(start, stop))
+        return sorted(pids)
 
     # ------------------------------------------------------------------
     # Liveness (convenience passthroughs used by protocols & metrics)
@@ -181,7 +256,7 @@ class Network:
         must not branch on it (channels are best-effort and real senders
         cannot observe losses).
         """
-        if target not in self._actors:
+        if target not in self:
             raise UnknownActor(f"no actor registered with pid {target}")
         now = self._engine.now
         self.stats.record_sent(message)
@@ -206,7 +281,7 @@ class Network:
             if sample_link is not None
             else self._latency.sample(self._rng)
         )
-        self._engine.schedule(delay, lambda: self._deliver(sender, target, message))
+        self._engine.schedule_apply(delay, self._deliver, (sender, target, message))
         return True
 
     def multicast(
@@ -225,9 +300,16 @@ class Network:
         if not targets:
             return 0
         actors = self._actors
-        for target in targets:
-            if target not in actors:
-                raise UnknownActor(f"no actor registered with pid {target}")
+        if self._blocks:
+            for target in targets:
+                if target not in self:
+                    raise UnknownActor(f"no actor registered with pid {target}")
+        else:
+            for target in targets:
+                if target not in actors:
+                    raise UnknownActor(
+                        f"no actor registered with pid {target}"
+                    )
         engine = self._engine
         now = engine.now
         stats = self.stats
@@ -299,15 +381,19 @@ class Network:
         for reason, dropped in drop_counts.items():
             stats.record_dropped_many(message, reason, dropped)
 
-        # Each latency class becomes one engine entry: one thunk delivering
-        # to every same-delay survivor (with zero latency — the dominant
-        # case — the whole fan-out lands in the engine's FIFO bucket).
+        # Each latency class becomes one applied array-batch entry — no
+        # per-destination closures, and pending/processed still count every
+        # destination (with zero latency — the dominant case — the whole
+        # fan-out lands in the engine's FIFO bucket).
         scheduled = 0
         deliver_batch = self._deliver_batch
         for delay, batch in batches.items():
             scheduled += len(batch)
-            engine.schedule(
-                delay, _bind_delivery(deliver_batch, sender, tuple(batch), message)
+            engine.schedule_apply(
+                delay,
+                deliver_batch,
+                (sender, tuple(batch), message),
+                count=len(batch),
             )
         return scheduled
 
@@ -318,7 +404,11 @@ class Network:
             return
         self.stats.record_delivered(message)
         self.trace.record(now, "net.delivered", sender, target, message_kind=message.kind)
-        self._actors[target].handle_message(message)
+        actor = self._actors.get(target)
+        if actor is not None:
+            actor.handle_message(message)
+        else:
+            self._block_for(target).handle_batch(sender, (target,), message)
 
     def _deliver_batch(
         self, sender: int, targets: tuple[int, ...], message: Message
@@ -358,8 +448,42 @@ class Network:
                 trace.record(
                     now, "net.delivered", sender, target, message_kind=kind
                 )
+        if not self._blocks:
+            for target in alive:
+                actors[target].handle_message(message)
+        else:
+            self._dispatch_mixed(sender, alive, message)
+
+    def _dispatch_mixed(
+        self, sender: int, alive: Iterable[int], message: Message
+    ) -> None:
+        """Dispatch a delivered batch when block actors are registered.
+
+        Consecutive targets owned by the same block actor are flushed as
+        one ``handle_batch`` call (fan-outs target one group, so a whole
+        batch usually lands in a single call); per-pid actors still get
+        ``handle_message`` individually, in order.
+        """
+        actors = self._actors
+        run_actor: BlockActor | None = None
+        run: list[int] = []
         for target in alive:
-            actors[target].handle_message(message)
+            actor = actors.get(target)
+            if actor is not None:
+                if run:
+                    run_actor.handle_batch(sender, tuple(run), message)
+                    run_actor, run = None, []
+                actor.handle_message(message)
+                continue
+            block = self._block_for(target)
+            if block is run_actor:
+                run.append(target)
+            else:
+                if run:
+                    run_actor.handle_batch(sender, tuple(run), message)
+                run_actor, run = block, [target]
+        if run:
+            run_actor.handle_batch(sender, tuple(run), message)
 
     def _drop(self, message: Message, sender: int, target: int, reason: str) -> None:
         self.stats.record_dropped(message, reason)
@@ -370,11 +494,6 @@ class Network:
 
     def __repr__(self) -> str:
         return (
-            f"Network({len(self._actors)} actors, p_success={self.p_success}, "
+            f"Network({len(self)} actors, p_success={self.p_success}, "
             f"{self.failure_model!r})"
         )
-
-
-def _bind_delivery(deliver_batch, sender, targets, message):
-    """One zero-argument delivery thunk for a whole same-latency batch."""
-    return lambda: deliver_batch(sender, targets, message)

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import itertools
 
+from repro.errors import ConfigError
 from repro.failures.model import FailureModel
 from repro.metrics.collector import DeliveryTracker
+from repro.metrics.streaming import StreamingDeliveryTracker
 from repro.net.latency import LatencyModel, ZERO_LATENCY
 from repro.net.network import Network
 from repro.net.stats import NetworkStats
@@ -34,7 +36,12 @@ class SimulationHarness:
         latency: LatencyModel = ZERO_LATENCY,
         failure_model: FailureModel | None = None,
         trace: bool = False,
+        tracker: str = "full",
     ):
+        if tracker not in ("full", "streaming"):
+            raise ConfigError(
+                f"tracker must be 'full' or 'streaming', got {tracker!r}"
+            )
         self.engine = Engine()
         self.rngs = RngRegistry(seed)
         self.trace = TraceLog(enabled=trace)
@@ -48,12 +55,33 @@ class SimulationHarness:
             stats=self.stats,
             trace=self.trace,
         )
-        self.tracker = DeliveryTracker()
+        #: ``tracker="full"`` keeps per-(event, pid) records (the figures'
+        #: raw material); ``"streaming"`` folds deliveries into O(topics)
+        #: per-topic aggregates for 10⁵–10⁶-process runs.
+        self.tracker = (
+            StreamingDeliveryTracker() if tracker == "streaming"
+            else DeliveryTracker()
+        )
         self._pid_counter = itertools.count(0)
 
     def next_pid(self) -> int:
         """Allocate the next process id."""
         return next(self._pid_counter)
+
+    def reserve_pid_block(self, count: int) -> range:
+        """Allocate ``count`` consecutive process ids, returned as a range.
+
+        The columnar backend gives each group one contiguous pid block so
+        membership reduces to index arithmetic; reservation goes through
+        the same counter as :meth:`next_pid`, so block and per-process
+        allocation can be mixed without collisions.
+        """
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        base = next(self._pid_counter)
+        for _ in range(count - 1):
+            next(self._pid_counter)
+        return range(base, base + count)
 
     @property
     def now(self) -> float:

@@ -19,6 +19,13 @@ Two fast paths keep large fan-outs cheap:
 * **Batched events** — :meth:`Engine.schedule_batch` stores many callbacks
   behind a single queue entry, so N same-timestamp events cost one
   scheduling operation instead of N while keeping per-event accounting.
+* **Applied calls** — :meth:`Engine.schedule_apply` stores a bare
+  ``(fn, args)`` pair on the queue entry instead of a closure.  One entry
+  can stand for ``count`` logical events (the network's vectorized
+  delivery batches): :attr:`Engine.pending` and :attr:`Engine.processed`
+  account for all of them, so a fan-out folded into a single array-batch
+  entry is indistinguishable, counter-wise, from the historical
+  one-closure-per-destination loop.
 """
 
 from __future__ import annotations
@@ -40,7 +47,10 @@ class EventHandle:
     immediately instead of pinning it until the queue entry is popped.
     """
 
-    __slots__ = ("time", "_seq", "_count", "_cancelled", "_fired", "_callback", "_engine")
+    __slots__ = (
+        "time", "_seq", "_count", "_cancelled", "_fired", "_callback",
+        "_args", "_engine",
+    )
 
     def __init__(
         self,
@@ -49,11 +59,13 @@ class EventHandle:
         callback: Any,
         engine: "Engine | None" = None,
         count: int = 1,
+        args: tuple | None = None,
     ):
         self.time = time
         self._seq = seq
         self._count = count
         self._callback = callback
+        self._args = args
         self._engine = engine
         self._cancelled = False
         self._fired = False
@@ -69,6 +81,7 @@ class EventHandle:
             return
         self._cancelled = True
         self._callback = None  # release the closure(s) right away
+        self._args = None
         engine = self._engine
         if engine is not None:
             engine._live -= self._count
@@ -257,6 +270,53 @@ class Engine:
             heapq.heappush(self._queue, (time, handle._seq, handle))
         return handle
 
+    def schedule_apply(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        *,
+        count: int = 1,
+    ) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay``, storing the bare ``(fn, args)``
+        pair on the queue entry instead of a closure.
+
+        ``count`` is the number of logical events the single call stands
+        for: the network's vectorized delivery batches pass the whole
+        fan-out as one ``fn(sender, targets, message)`` call with
+        ``count=len(targets)``, and :attr:`pending` / :attr:`processed`
+        account for every one of them. Cancelling the handle cancels the
+        whole batch.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_apply_at(self._now + delay, fn, args, count=count)
+
+    def schedule_apply_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        *,
+        count: int = 1,
+    ) -> EventHandle:
+        """Absolute-time variant of :meth:`schedule_apply` (``time >= now``)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        if count < 1:
+            raise SchedulingError(f"count must be >= 1, got {count}")
+        handle = EventHandle(
+            time, next(self._sequence), fn, self, count=count, args=tuple(args)
+        )
+        self._live += count
+        if time == self._now:
+            self._bucket.append(handle)
+        else:
+            heapq.heappush(self._queue, (time, handle._seq, handle))
+        return handle
+
     def every(
         self,
         interval: float,
@@ -329,11 +389,16 @@ class Engine:
         handle._engine = None
         self._live -= handle._count
         callback = handle._callback
+        args = handle._args
         handle._callback = None  # a fired closure is garbage too
+        handle._args = None
         if type(callback) is tuple:
             for member in callback:
                 self._processed += 1
                 member()
+        elif args is not None:
+            self._processed += handle._count
+            callback(*args)
         else:
             self._processed += 1
             callback()

@@ -85,6 +85,42 @@ class TestDeliveredFraction:
         tracker = DeliveryTracker()
         assert delivered_fraction(tracker, EventId(0, 1), []) == 1.0
 
+    def test_all_dead_group_vacuous_and_queries_agree(self):
+        """Heavy stillborn failure can kill a whole small group: both
+        reliability queries must then agree on the vacuous-truth answer
+        (nobody left who *could* receive → trivially reliable), never on
+        0.0-vs-True or 1.0-vs-False."""
+        tracker = DeliveryTracker()
+        e = event()
+        # Nobody delivered anything, every member is dead.
+        dead = lambda pid: False
+        fraction = delivered_fraction(tracker, e.event_id, [1, 2, 3], dead)
+        received = all_received(tracker, e.event_id, [1, 2, 3], dead)
+        assert fraction == 1.0
+        assert received is True
+
+    def test_receivers_view_is_read_only(self):
+        tracker = DeliveryTracker()
+        e = event()
+        tracker.record_delivery(1, e, 2.0)
+        receivers = tracker.receivers(e.event_id)
+        assert receivers == {1: 2.0}
+        with pytest.raises(TypeError):
+            receivers[2] = 0.0
+        # Unknown events share one empty read-only view, equal to {}.
+        missing = tracker.receivers(EventId(9, 9))
+        assert missing == {}
+        with pytest.raises(TypeError):
+            missing[1] = 0.0
+
+    def test_delivered_fast_path(self):
+        tracker = DeliveryTracker()
+        e = event()
+        tracker.record_delivery(1, e, 2.0)
+        assert tracker.delivered(e.event_id, 1)
+        assert not tracker.delivered(e.event_id, 2)
+        assert not tracker.delivered(EventId(9, 9), 1)
+
     def test_all_received(self):
         tracker = DeliveryTracker()
         e = event()

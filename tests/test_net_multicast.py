@@ -123,9 +123,11 @@ class TestMulticastBasics:
     def test_single_engine_entry_for_zero_latency_fanout(self):
         engine, net, _ = make_net()
         net.multicast(0, [1, 2, 3, 4, 5], Ping(sender=0, nonce=1))
-        # One batched delivery thunk, not five closures.
-        assert engine.pending == 1
-        engine.run()
+        # One applied array-batch entry standing for five logical events:
+        # per-destination accounting, single queue entry.
+        assert engine.pending == 5
+        assert len(engine._bucket) + len(engine._queue) == 1
+        assert engine.run() == 5
         assert net.stats.delivered_by_kind["ping"] == 5
 
     def test_latency_delays_the_whole_batch(self):
@@ -154,6 +156,105 @@ class TestMulticastBasics:
         assert trace.count("net.delivered") == 2
         drops = trace.filter("net.dropped")
         assert len(drops) == 1 and drops[0].detail["reason"] == "dead_target"
+
+
+class BlockRecorder:
+    """Minimal block actor capturing every delivered (sender, targets)."""
+
+    def __init__(self):
+        self.batches: list[tuple[int, tuple[int, ...], Message]] = []
+
+    def handle_batch(self, sender, targets, message):
+        self.batches.append((sender, targets, message))
+
+
+class TestBlockActors:
+    def test_multicast_into_block_is_one_handle_batch_call(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        net.register(Recorder(0))
+        block = BlockRecorder()
+        net.register_block(block, 10, 20)
+        net.multicast(0, [11, 13, 17], Ping(sender=0, nonce=4))
+        engine.run()
+        assert len(block.batches) == 1
+        sender, targets, message = block.batches[0]
+        assert sender == 0 and targets == (11, 13, 17)
+        assert message.nonce == 4
+        assert net.stats.delivered_by_kind["ping"] == 3
+
+    def test_send_into_block_delivers_singleton_batch(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        net.register(Recorder(0))
+        block = BlockRecorder()
+        net.register_block(block, 5, 8)
+        net.send(0, 6, Ping(sender=0, nonce=1))
+        engine.run()
+        assert block.batches == [(0, (6,), block.batches[0][2])]
+
+    def test_mixed_batch_splits_between_blocks_and_actors(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        plain = [Recorder(pid) for pid in (0, 1)]
+        for actor in plain:
+            net.register(actor)
+        left, right = BlockRecorder(), BlockRecorder()
+        net.register_block(left, 10, 15)
+        net.register_block(right, 20, 25)
+        net.multicast(0, [10, 11, 1, 21, 22, 12], Ping(sender=0, nonce=9))
+        engine.run()
+        assert left.batches[0][1] == (10, 11)
+        assert left.batches[1][1] == (12,)
+        assert right.batches[0][1] == (21, 22)
+        assert len(plain[1].inbox) == 1
+
+    def test_dead_block_targets_dropped_at_delivery(self):
+        engine = Engine()
+        net = Network(
+            engine, random.Random(0), failure_model=StillbornFailures({11})
+        )
+        net.register(Recorder(0))
+        block = BlockRecorder()
+        net.register_block(block, 10, 13)
+        net.multicast(0, [10, 11, 12], Ping(sender=0, nonce=1))
+        engine.run()
+        assert block.batches[0][1] == (10, 12)
+        assert net.stats.dropped_by_reason["dead_target"] == 1
+
+    def test_registry_queries_cover_blocks(self):
+        net = Network(Engine(), random.Random(0))
+        net.register(Recorder(0))
+        block = BlockRecorder()
+        net.register_block(block, 10, 13)
+        assert 0 in net and 10 in net and 12 in net
+        assert 13 not in net and 9 not in net
+        assert len(net) == 4
+        assert net.pids == [0, 10, 11, 12]
+        assert net.actor(11) is block
+
+    def test_overlapping_registrations_rejected(self):
+        from repro.errors import ConfigError
+
+        net = Network(Engine(), random.Random(0))
+        net.register(Recorder(11))
+        net.register_block(BlockRecorder(), 20, 30)
+        with pytest.raises(ConfigError):
+            net.register_block(BlockRecorder(), 10, 12)  # covers pid 11
+        with pytest.raises(ConfigError):
+            net.register_block(BlockRecorder(), 25, 35)  # overlaps block
+        with pytest.raises(ConfigError):
+            net.register_block(BlockRecorder(), 30, 30)  # empty
+        with pytest.raises(ConfigError):
+            net.register(Recorder(22))  # inside the block
+
+    def test_unknown_pid_outside_blocks_still_raises(self):
+        net = Network(Engine(), random.Random(0))
+        net.register_block(BlockRecorder(), 10, 13)
+        with pytest.raises(UnknownActor):
+            net.multicast(10, [10, 40], Ping(sender=10, nonce=1))
+        with pytest.raises(UnknownActor):
+            net.actor(40)
 
 
 # ----------------------------------------------------------------------

@@ -280,6 +280,75 @@ class TestScheduleBatch:
         assert times == [3.5, 3.5]
 
 
+class TestScheduleApply:
+    def test_apply_calls_fn_with_args(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_apply(1.0, lambda a, b: seen.append((a, b)), (3, "x"))
+        engine.run()
+        assert seen == [(3, "x")]
+
+    def test_apply_count_accounting(self):
+        engine = Engine()
+        calls = []
+        engine.schedule_apply(1.0, calls.append, ("batch",), count=7)
+        assert engine.pending == 7
+        executed = engine.run()
+        assert calls == ["batch"]  # one physical call...
+        assert executed == 7  # ...standing for seven logical events
+        assert engine.processed == 7
+        assert engine.pending == 0
+
+    def test_apply_no_args(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_apply(0.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.0]
+
+    def test_apply_interleaves_fifo_with_closures(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("before"))
+        engine.schedule_apply(1.0, order.append, ("applied",), count=3)
+        engine.schedule(1.0, lambda: order.append("after"))
+        engine.run()
+        assert order == ["before", "applied", "after"]
+
+    def test_cancel_apply_releases_args_and_count(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule_apply(1.0, fired.append, (1,), count=5)
+        assert engine.pending == 5
+        handle.cancel()
+        assert engine.pending == 0
+        assert handle._args is None
+        engine.run()
+        assert fired == []
+
+    def test_apply_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_apply(-1.0, lambda: None)
+
+    def test_apply_zero_count_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_apply(1.0, lambda: None, (), count=0)
+
+    def test_apply_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulingError):
+            engine.schedule_apply_at(1.0, lambda: None)
+
+    def test_apply_at_absolute_time(self):
+        engine = Engine()
+        times = []
+        engine.schedule_apply_at(3.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [3.5]
+
+
 class TestZeroLatencyBucket:
     def test_mixed_bucket_and_heap_order(self):
         engine = Engine()
