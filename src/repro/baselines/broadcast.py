@@ -55,6 +55,10 @@ class GossipBroadcastSystem(BaselineSystem):
         resolved = Topic.parse(topic) if isinstance(topic, str) else topic
         chosen = self._pick_publisher(resolved, publisher)
         event = chosen.make_event(resolved, payload)
-        self.tracker.record_publish(event, chosen.pid)
+        # Broadcast floods the global group: every process is an intended
+        # receiver (interested or not) — the parasite cost made measurable.
+        self.tracker.record_publish(
+            event, chosen.pid, expected=len(self.processes)
+        )
         chosen.publish_in_groups(event, [GLOBAL_GROUP])
         return event

@@ -169,7 +169,11 @@ class HierarchicalGossipSystem(BaselineSystem):
         chosen = self._pick_publisher(resolved, publisher)
         assert isinstance(chosen, HierarchicalProcess)
         event = chosen.make_event(resolved, payload)
-        self.tracker.record_publish(event, chosen.pid)
+        # Interest-oblivious clusters flood every process (§VI-E): all of
+        # them are intended receivers.
+        self.tracker.record_publish(
+            event, chosen.pid, expected=len(self.processes)
+        )
         assert chosen.cluster is not None
         chosen.seen.add(event.event_id)
         chosen.delivered.append(event)

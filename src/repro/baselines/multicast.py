@@ -83,7 +83,12 @@ class GossipMulticastSystem(BaselineSystem):
         self.hierarchy.require(resolved)
         chosen = self._pick_publisher(resolved, publisher)
         event = chosen.make_event(resolved, payload)
-        self.tracker.record_publish(event, chosen.pid)
+        # The topic's group holds its subscribers plus every supertopic
+        # subscriber (they joined each subtopic group): the intended
+        # receivers are exactly the interested set.
+        self.tracker.record_publish(
+            event, chosen.pid, expected=len(self.interested_in(resolved))
+        )
         chosen.publish_in_groups(event, [resolved])
         return event
 

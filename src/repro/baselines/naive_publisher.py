@@ -104,7 +104,11 @@ class NaivePublisherSystem(BaselineSystem):
         self.hierarchy.require(resolved)
         chosen = self._pick_publisher(resolved, publisher)
         event = chosen.make_event(resolved, payload)
-        self.tracker.record_publish(event, chosen.pid)
+        # The publisher injects into the topic group and every supergroup:
+        # intended receivers are the interested set.
+        self.tracker.record_publish(
+            event, chosen.pid, expected=len(self.interested_in(resolved))
+        )
         groups = [
             group
             for group in chosen.groups

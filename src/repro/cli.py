@@ -19,6 +19,15 @@ Usage (installed as ``damulticast``, or ``python -m repro``)::
         --out SWEEP.json
     damulticast scenario render SWEEP.json --format csv
 
+    # graceful degradation under link faults (repro.net.faults):
+    damulticast scenario run lossy-wan       # burst loss on inter links
+    damulticast scenario sweep loss-sweep \\
+        --field faults.loss.p --values 0 0.05 0.1 0.2 \\
+        --out LOSS.json                      # reliability-vs-loss curve
+    damulticast scenario sweep loss-sweep \\
+        --field faults.loss.p --values 0 0.05 0.1 0.2 \\
+        --set protocol=broadcast             # same grid, baseline
+
 Every command prints the same rows/series the paper reports, as an
 aligned ASCII table. Scenario specs are declarative JSON documents (see
 ``repro.workloads.spec``) covering both static-mode (§VII simulator) and

@@ -464,7 +464,16 @@ class ColumnarStaticSystem:
             published_at=self.now,
         )
         if self.tracker is not None:
-            self.tracker.record_publish(event, publisher_pid)
+            # Intended receivers over a perfect network: the topic's own
+            # block plus every populated ancestor block (inclusion).
+            expected = sum(
+                len(members)
+                for t, members in self._blocks.items()
+                if t.includes(resolved)
+            )
+            self.tracker.record_publish(
+                event, publisher_pid, expected=expected
+            )
         self._actors[resolved].publish_from(
             publisher_pid - block.start,
             event,

@@ -21,6 +21,7 @@ tables are drawn from global knowledge by
 
 from __future__ import annotations
 
+import functools
 from itertools import groupby
 from typing import Any
 
@@ -62,6 +63,9 @@ class MultiParentProcess:
         #: one supertopic table per direct supertopic (§VIII)
         self.super_tables: dict[Topic, SuperTopicTable] = {}
         self.group_size = 1
+        #: set by the system facade: intended receivers of our events over
+        #: a perfect network (our group + every DAG-ancestor group)
+        self.expected_provider: Any = None
         self.seen: set[EventId] = set()
         self.delivered: list[Event] = []
         self._params = params
@@ -85,7 +89,14 @@ class MultiParentProcess:
         event = self._event_factory.create(
             self.topic, payload, self._harness.now
         )
-        self._harness.tracker.record_publish(event, self.pid)
+        expected = (
+            self.expected_provider()
+            if self.expected_provider is not None
+            else self.group_size
+        )
+        self._harness.tracker.record_publish(
+            event, self.pid, expected=expected
+        )
         self.seen.add(event.event_id)
         self._deliver(event)
         self._disseminate(
@@ -222,7 +233,19 @@ class MultiParentSystem:
         )
         self.harness.network.register(process)
         self._groups.setdefault(resolved, []).append(process)
+        process.expected_provider = functools.partial(
+            self._interested_count, resolved
+        )
         return process
+
+    def _interested_count(self, topic: Topic) -> int:
+        """Intended receivers of a ``topic`` event: members of ``topic``'s
+        group and of every DAG-ancestor group (multi-parent inclusion)."""
+        return sum(
+            len(members)
+            for t, members in self._groups.items()
+            if t == topic or self.dag.is_ancestor(t, topic)
+        )
 
     def add_group(self, topic: Topic | str, count: int) -> list[MultiParentProcess]:
         """Create ``count`` processes interested in ``topic``."""

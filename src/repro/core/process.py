@@ -100,6 +100,7 @@ class DaMulticastProcess:
         self._delivery_callback = delivery_callback
         self._group_size_hint = group_size_hint
         self._group_size_cell: GroupSizeCell | None = None
+        self._expected_provider: Callable[[], int] | None = None
 
         params = config.params_for(topic)
         self.super_table = SuperTopicTable(params.z)
@@ -175,6 +176,19 @@ class DaMulticastProcess:
         unbinds it again.
         """
         self._group_size_cell = cell
+
+    def bind_expected_receivers(self, provider: Callable[[], int]) -> None:
+        """Share a live intended-receiver counter with this process.
+
+        ``provider()`` is consulted at publish time to record how many
+        processes the protocol would deliver the event to over a perfect
+        network — by inclusion (§III-B), subscribers of this topic *and*
+        of every supertopic. The facade binds it from global knowledge;
+        unbound processes fall back to :attr:`group_size` (their own
+        group only). Feeds the graceful-degradation denominators in
+        :mod:`repro.metrics.degradation`.
+        """
+        self._expected_provider = provider
 
     def set_group_size(self, size: int) -> None:
         """Update the group-size hint (used for ``p_sel`` and fan-out).
@@ -253,7 +267,12 @@ class DaMulticastProcess:
         self.subscribe()  # Fig. 7 line 2: DISSEMINATE starts with SUBSCRIBE
         event = self._event_factory.create(self.topic, payload, self.engine.now)
         if self._tracker is not None:
-            self._tracker.record_publish(event, self.pid)
+            expected = (
+                self._expected_provider()
+                if self._expected_provider is not None
+                else self.group_size
+            )
+            self._tracker.record_publish(event, self.pid, expected=expected)
         self.seen.add(event.event_id)
         self._deliver(event, hops=0)
         disseminate(

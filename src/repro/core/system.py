@@ -21,6 +21,7 @@ Two modes mirror the paper's two settings:
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from typing import Any, Mapping
 
@@ -166,6 +167,9 @@ class DaMulticastSystem:
             cell = self._group_size_cells[resolved] = GroupSizeCell()
         cell.value = len(group)
         process.bind_group_size(cell)
+        process.bind_expected_receivers(
+            functools.partial(self._interested_count, resolved)
+        )
         self._sync_membership_capacity(resolved, group, cell.value, process)
 
         if self.mode == "dynamic":
@@ -335,6 +339,18 @@ class DaMulticastSystem:
     def group_pids(self, topic: Topic | str) -> list[int]:
         """Pids of :meth:`group`."""
         return [p.pid for p in self.group(topic)]
+
+    def _interested_count(self, topic: Topic) -> int:
+        """Processes whose subscription *includes* events of ``topic`` —
+        its own group plus every supergroup (inclusion, §III-B): the
+        intended receivers of a ``topic`` event over a perfect network.
+        Live count (consulted at publish time via
+        :meth:`DaMulticastProcess.bind_expected_receivers`)."""
+        return sum(
+            len(members)
+            for t, members in self._groups.items()
+            if t.includes(topic)
+        )
 
     def interests(self) -> Mapping[int, Topic]:
         """pid → subscribed topic, for parasite accounting."""

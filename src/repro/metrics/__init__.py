@@ -9,6 +9,12 @@ own internals.
 
 from repro.metrics.collector import DeliveryTracker
 from repro.metrics.convergence import OverlayStats, overlay_stats, views_of
+from repro.metrics.degradation import (
+    WindowPoint,
+    degradation_summary,
+    delivery_ratio_series,
+    time_to_repair,
+)
 from repro.metrics.delivery import (
     delivered_fraction,
     all_received,
@@ -27,6 +33,10 @@ __all__ = [
     "all_received",
     "parasite_deliveries",
     "topic_delivery_summary",
+    "WindowPoint",
+    "delivery_ratio_series",
+    "time_to_repair",
+    "degradation_summary",
     "OverlayStats",
     "overlay_stats",
     "views_of",

@@ -27,14 +27,31 @@ class DeliveryTracker:
         self._publisher: dict[EventId, int] = {}
         self._receivers: dict[EventId, dict[int, float]] = defaultdict(dict)
         self._hops: dict[EventId, dict[int, int]] = defaultdict(dict)
+        self._expected: dict[EventId, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def record_publish(self, event: Event, publisher: int) -> None:
-        """Note that ``publisher`` published ``event``."""
+    def record_publish(
+        self, event: Event, publisher: int, expected: int | None = None
+    ) -> None:
+        """Note that ``publisher`` published ``event``.
+
+        ``expected`` optionally records the event's *intended receivers*:
+        how many processes the protocol would deliver it to over a perfect
+        network (for daMulticast, the topic's subscribers plus every
+        supergroup's by inclusion; for flooding baselines, everyone). It
+        is the denominator the graceful-degradation queries
+        (:mod:`repro.metrics.degradation`) normalize delivered counts by,
+        so a fault-free run scores 1.0 by construction. All in-repo
+        publish paths supply it; trackers fed by external actors may
+        leave it None, in which case the event is excluded from ratio
+        denominators.
+        """
         self._published[event.event_id] = event
         self._publisher[event.event_id] = publisher
+        if expected is not None:
+            self._expected[event.event_id] = expected
 
     def record_delivery(
         self, pid: int, event: Event, time: float, hops: int | None = None
@@ -72,6 +89,10 @@ class DeliveryTracker:
     def publisher_of(self, event_id: EventId) -> int | None:
         """The pid that published ``event_id`` (None if unknown)."""
         return self._publisher.get(event_id)
+
+    def expected(self, event_id: EventId) -> int | None:
+        """Subscribers of the event's topic at publish time (if recorded)."""
+        return self._expected.get(event_id)
 
     def receivers(self, event_id: EventId) -> Mapping[int, float]:
         """pid → first-delivery time for ``event_id``.
@@ -114,6 +135,7 @@ class DeliveryTracker:
         self._publisher.clear()
         self._receivers.clear()
         self._hops.clear()
+        self._expected.clear()
 
     def __repr__(self) -> str:
         return (

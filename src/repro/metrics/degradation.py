@@ -1,0 +1,211 @@
+"""Graceful-degradation metrics: delivery ratio over time, repair latency.
+
+The link-fault layer (:mod:`repro.net.faults`) turns "gossip survives
+loss" into something measurable; this module supplies the measurements:
+
+* :func:`delivery_ratio_series` — a sliding-window delivery ratio over
+  *event time*: events are bucketed by publish time into fixed windows of
+  width ``window``, and each window reports
+  ``Σ delivered / Σ expected-at-publish`` over the events published in
+  it. Deliveries are attributed to the window their event was published
+  in (however late they arrive), so a window's ratio answers "of what was
+  asked for then, how much was ultimately delivered";
+* :func:`time_to_repair` — how long after a fault window closes the
+  system is back above a delivery-ratio threshold;
+* :func:`degradation_summary` — per-topic delivered fractions, the raw
+  material of delivered-fraction-vs-loss-rate curves.
+
+All three read **both** tracker flavours: the full
+:class:`~repro.metrics.collector.DeliveryTracker` (per-event records
+folded on demand) and the
+:class:`~repro.metrics.streaming.StreamingDeliveryTracker` (pre-folded
+window cells and per-topic aggregates — construct it with
+``StreamingDeliveryTracker(window=...)`` to enable the series). The
+denominator in every ratio is the ``expected`` count recorded at publish
+time — the event's *intended receivers*, i.e. how many processes the
+protocol would deliver it to over a perfect network — so a fault-free
+run scores 1.0. Events without a recorded count are excluded from ratio
+denominators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MetricsError
+from repro.topics.topic import Topic
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One sliding window of the delivery-ratio series."""
+
+    #: window covers event publish times in [start, end)
+    start: float
+    end: float
+    #: events published in the window
+    published: int
+    #: Σ expected receivers over those events (0 when none recorded)
+    expected: int
+    #: deliveries of those events, whenever they arrived
+    delivered: int
+    #: delivered / expected; None when no expected counts were recorded
+    ratio: float | None
+
+
+def _require_window(window: float) -> float:
+    if (
+        isinstance(window, bool)
+        or not isinstance(window, (int, float))
+        or not math.isfinite(window)
+        or window <= 0
+    ):
+        raise MetricsError(
+            f"window must be a finite number > 0, got {window!r}"
+        )
+    return float(window)
+
+
+def _points_from_cells(
+    cells: dict[int, tuple[int, int, int]], window: float
+) -> list[WindowPoint]:
+    points = []
+    for index in sorted(cells):
+        published, expected, delivered = cells[index]
+        points.append(
+            WindowPoint(
+                start=index * window,
+                end=(index + 1) * window,
+                published=published,
+                expected=expected,
+                delivered=delivered,
+                ratio=(delivered / expected) if expected else None,
+            )
+        )
+    return points
+
+
+def delivery_ratio_series(
+    tracker, window: float | None = None
+) -> list[WindowPoint]:
+    """The sliding-window delivery-ratio series of one run.
+
+    With a full tracker, ``window`` is required and the series is folded
+    from the per-event records on demand. With a streaming tracker the
+    series was folded at recording time: ``window`` may be omitted (the
+    tracker's own width is used) but must match the configured width when
+    given — the streaming tracker cannot re-bucket after the fact.
+
+    Only windows with at least one published event appear (gossip
+    simulations are bursty; all-empty gaps carry no signal and would
+    dominate the list at fine widths).
+    """
+    if getattr(tracker, "mode", "full") == "streaming":
+        if window is not None:
+            width = _require_window(window)
+            if tracker.window is None or width != tracker.window:
+                raise MetricsError(
+                    f"streaming tracker folded windows of width "
+                    f"{tracker.window!r}; cannot re-bucket to {width!r} "
+                    "after the fact — construct "
+                    "StreamingDeliveryTracker(window=...) with the width "
+                    "you will query"
+                )
+        return _points_from_cells(tracker.window_cells(), tracker.window)
+    if window is None:
+        raise MetricsError(
+            "delivery_ratio_series needs an explicit window width with "
+            "the full tracker"
+        )
+    width = _require_window(window)
+    cells: dict[int, list[int]] = {}
+    for event in tracker.events:
+        index = int(event.published_at // width)
+        cell = cells.get(index)
+        if cell is None:
+            cell = cells[index] = [0, 0, 0]
+        cell[0] += 1
+        expected = tracker.expected(event.event_id)
+        if expected is not None:
+            cell[1] += expected
+        cell[2] += tracker.delivery_count(event.event_id)
+    return _points_from_cells(
+        {index: tuple(cell) for index, cell in cells.items()}, width
+    )
+
+
+def time_to_repair(
+    series: list[WindowPoint],
+    *,
+    after: float,
+    threshold: float = 0.99,
+) -> float | None:
+    """Time from ``after`` (a fault window closing) back to health.
+
+    Returns ``start - after`` of the first window that begins at or after
+    ``after`` and reports a ratio ``>= threshold`` — i.e. how long until
+    freshly published events are again delivered at the threshold rate.
+    Windows straddling ``after`` are skipped (their events were published
+    under the fault). Returns None when the series never recovers (or no
+    window with a measurable ratio follows ``after``).
+    """
+    if (
+        isinstance(threshold, bool)
+        or not isinstance(threshold, (int, float))
+        or not 0.0 <= threshold <= 1.0
+    ):
+        raise MetricsError(
+            f"threshold must be a number in [0, 1], got {threshold!r}"
+        )
+    if not isinstance(after, (int, float)) or not math.isfinite(after):
+        raise MetricsError(f"'after' must be a finite number, got {after!r}")
+    for point in series:
+        if point.start < after or point.ratio is None:
+            continue
+        if point.ratio >= threshold:
+            return point.start - after
+    return None
+
+
+def degradation_summary(tracker) -> dict[str, dict[str, float | int | None]]:
+    """Per-topic delivered fractions from either tracker flavour.
+
+    Returns ``{topic name: {"published", "expected", "delivered",
+    "delivered_fraction"}}`` where ``delivered_fraction`` is
+    ``delivered / Σ expected-at-publish`` (None when no expected counts
+    were recorded for the topic). Sweeping this against a loss-rate grid
+    yields the delivered-fraction-vs-loss-rate reliability curves.
+    """
+    summary: dict[str, dict[str, float | int | None]] = {}
+    if getattr(tracker, "mode", "full") == "streaming":
+        for topic in tracker.topics():
+            stats = tracker.topic_stats(topic)
+            summary[topic.name] = {
+                "published": stats.published,
+                "expected": stats.expected_sum,
+                "delivered": stats.delivered,
+                "delivered_fraction": stats.delivered_fraction,
+            }
+        return summary
+    totals: dict[Topic, list[int]] = {}
+    for event in tracker.events:
+        cell = totals.get(event.topic)
+        if cell is None:
+            cell = totals[event.topic] = [0, 0, 0]
+        cell[0] += 1
+        expected = tracker.expected(event.event_id)
+        if expected is not None:
+            cell[1] += expected
+        cell[2] += tracker.delivery_count(event.event_id)
+    for topic in sorted(totals):
+        published, expected, delivered = totals[topic]
+        summary[topic.name] = {
+            "published": published,
+            "expected": expected,
+            "delivered": delivered,
+            "delivered_fraction": (
+                delivered / expected if expected else None
+            ),
+        }
+    return summary

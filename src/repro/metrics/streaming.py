@@ -61,14 +61,16 @@ class TopicDeliveryStats:
     """Aggregate delivery counters for one topic (fixed-size state)."""
 
     __slots__ = (
-        "topic", "published", "delivered", "latency_sum", "latency_min",
-        "latency_max", "hops_sum", "hops_max", "hops_count", "histogram",
+        "topic", "published", "delivered", "expected_sum", "latency_sum",
+        "latency_min", "latency_max", "hops_sum", "hops_max", "hops_count",
+        "histogram",
     )
 
     def __init__(self, topic: Topic):
         self.topic = topic
         self.published = 0
         self.delivered = 0
+        self.expected_sum = 0
         self.latency_sum = 0.0
         self.latency_min = math.inf
         self.latency_max = -math.inf
@@ -83,6 +85,14 @@ class TopicDeliveryStats:
         if self.delivered == 0:
             return None
         return self.latency_sum / self.delivered
+
+    @property
+    def delivered_fraction(self) -> float | None:
+        """delivered / Σ expected-at-publish; None when no expected counts
+        were recorded (see ``record_publish(expected=...)``)."""
+        if self.expected_sum == 0:
+            return None
+        return self.delivered / self.expected_sum
 
     @property
     def mean_hops(self) -> float | None:
@@ -126,8 +136,25 @@ class StreamingDeliveryTracker:
     #: distinguishes tracker flavours without isinstance checks
     mode = "streaming"
 
-    def __init__(self) -> None:
+    def __init__(self, window: float | None = None) -> None:
+        if window is not None and (
+            isinstance(window, bool)
+            or not isinstance(window, (int, float))
+            or not math.isfinite(window)
+            or window <= 0
+        ):
+            raise MetricsError(
+                f"window must be a finite number > 0, got {window!r}"
+            )
+        #: sliding-window width (event time); None disables the window
+        #: series (the per-window dict would otherwise grow O(horizon/width))
+        self.window = float(window) if window is not None else None
         self._topics: dict[Topic, TopicDeliveryStats] = {}
+        #: window index → [published, expected_sum, delivered]; events are
+        #: bucketed by *publish* time, and a delivery folds into the window
+        #: its event was published in (``event.published_at`` travels with
+        #: the event, so no per-event state is needed)
+        self._windows: dict[int, list[int]] = {}
         self.events_published = 0
         self.deliveries = 0
 
@@ -140,10 +167,25 @@ class StreamingDeliveryTracker:
     # ------------------------------------------------------------------
     # Recording (same signatures as the full tracker)
     # ------------------------------------------------------------------
-    def record_publish(self, event: Event, publisher: int) -> None:
-        """Fold one publication into its topic's aggregates."""
+    def record_publish(
+        self, event: Event, publisher: int, expected: int | None = None
+    ) -> None:
+        """Fold one publication into its topic (and window) aggregates.
+
+        ``expected`` — the event's intended receivers over a perfect
+        network — feeds the delivered-fraction denominators; see the full
+        tracker's docstring for the convention.
+        """
         self.events_published += 1
-        self._stats_for(event.topic).published += 1
+        stats = self._stats_for(event.topic)
+        stats.published += 1
+        if expected is not None:
+            stats.expected_sum += expected
+        if self.window is not None:
+            cell = self._window_cell(event.published_at)
+            cell[0] += 1
+            if expected is not None:
+                cell[1] += expected
 
     def record_delivery(
         self, pid: int, event: Event, time: float, hops: int | None = None
@@ -159,6 +201,8 @@ class StreamingDeliveryTracker:
         self.deliveries += 1
         stats = self._stats_for(event.topic)
         stats.delivered += 1
+        if self.window is not None:
+            self._window_cell(event.published_at)[2] += 1
         latency = time - event.published_at
         stats.latency_sum += latency
         if latency < stats.latency_min:
@@ -172,9 +216,32 @@ class StreamingDeliveryTracker:
             if hops > stats.hops_max:
                 stats.hops_max = hops
 
+    def _window_cell(self, published_at: float) -> list[int]:
+        index = int(published_at // self.window)
+        cell = self._windows.get(index)
+        if cell is None:
+            cell = self._windows[index] = [0, 0, 0]
+        return cell
+
     # ------------------------------------------------------------------
     # Aggregate queries
     # ------------------------------------------------------------------
+    def window_cells(self) -> dict[int, tuple[int, int, int]]:
+        """window index → (published, expected_sum, delivered), sorted.
+
+        Raw material for :func:`repro.metrics.degradation.delivery_ratio_series`;
+        raises when the tracker was built without a ``window``.
+        """
+        if self.window is None:
+            raise MetricsError(
+                "this StreamingDeliveryTracker has no window configured; "
+                "construct it with StreamingDeliveryTracker(window=...)"
+            )
+        return {
+            index: tuple(cell)
+            for index, cell in sorted(self._windows.items())
+        }
+
     def topics(self) -> list[Topic]:
         """Topics with at least one recorded publish or delivery."""
         return sorted(self._topics)
@@ -204,6 +271,7 @@ class StreamingDeliveryTracker:
     def clear(self) -> None:
         """Forget everything (e.g. between warm-up and measurement)."""
         self._topics.clear()
+        self._windows.clear()
         self.events_published = 0
         self.deliveries = 0
 

@@ -13,6 +13,17 @@ intra/inter-group event counts for Figs. 8–9) lives in
 :class:`~repro.net.stats.NetworkStats`.
 """
 
+from repro.net.faults import (
+    BernoulliLoss,
+    DelaySpike,
+    DuplicateModel,
+    FaultPipeline,
+    GilbertElliott,
+    LinkClassFaults,
+    LinkFaultModel,
+    NO_FAULTS,
+    NoFaults,
+)
 from repro.net.latency import (
     ConstantLatency,
     ExponentialLatency,
@@ -58,4 +69,13 @@ __all__ = [
     "ZERO_LATENCY",
     "PartitionModel",
     "StaticPartition",
+    "LinkFaultModel",
+    "NoFaults",
+    "NO_FAULTS",
+    "BernoulliLoss",
+    "GilbertElliott",
+    "DuplicateModel",
+    "DelaySpike",
+    "FaultPipeline",
+    "LinkClassFaults",
 ]

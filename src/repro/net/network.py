@@ -18,6 +18,16 @@ drop the message, and every outcome is counted in
 6. a latency is sampled and delivery is scheduled; if the target is dead
    *at delivery time* the message is dropped (stillborn targets, churn).
 
+When a link-fault model is installed (:meth:`Network.install_faults`,
+:mod:`repro.net.faults`) an extra stage runs between 5 and 6: the model
+may *lose* the message (drop reason ``fault_loss``), *duplicate* it
+(``copies`` identical deliveries, absorbed by protocol-level dedup) or
+*spike* its latency — each effect counted in
+``NetworkStats.faults_by_reason``. Fault draws use a dedicated RNG, so
+uninstalled (or :class:`~repro.net.faults.NoFaults`) runs are
+bit-identical to pre-fault-layer trajectories — the hook is skipped and
+consumes nothing.
+
 Batched fast path
 -----------------
 
@@ -68,6 +78,7 @@ from typing import Iterable, Protocol, runtime_checkable
 
 from repro.errors import ConfigError, UnknownActor
 from repro.failures.model import AlwaysAlive, FailureModel
+from repro.net.faults import LinkFaultModel, NoFaults
 from repro.net.latency import ConstantLatency, LatencyModel, ZERO_LATENCY
 from repro.net.message import Message
 from repro.net.partitions import FullyConnected, PartitionModel
@@ -75,8 +86,12 @@ from repro.net.stats import (
     DROP_CHANNEL_LOSS,
     DROP_DEAD_SENDER,
     DROP_DEAD_TARGET,
+    DROP_FAULT_LOSS,
     DROP_PARTITIONED,
     DROP_PERCEIVED_FAILED,
+    FAULT_DELAY_SPIKE,
+    FAULT_DUPLICATE,
+    FAULT_LOSS,
     NetworkStats,
 )
 from repro.sim.engine import Engine
@@ -124,6 +139,8 @@ class Network:
         partition_model: PartitionModel | None = None,
         stats: NetworkStats | None = None,
         trace: TraceLog | None = None,
+        faults: LinkFaultModel | None = None,
+        fault_rng: random.Random | None = None,
     ):
         if not 0.0 <= p_success <= 1.0:
             raise ConfigError(f"p_success must be in [0,1], got {p_success}")
@@ -131,6 +148,7 @@ class Network:
         self._rng = rng
         self.p_success = p_success
         self.latency = latency  # property: also caches the sample_link hook
+        self.install_faults(faults, fault_rng)
         self.failure_model: FailureModel = failure_model or AlwaysAlive()
         self.partition_model: PartitionModel = partition_model or FullyConnected()
         self.stats = stats if stats is not None else NetworkStats()
@@ -157,6 +175,47 @@ class Network:
         # optional hook here keeps the per-message send() path free of a
         # getattr on dynamic mode's one-at-a-time control traffic.
         self._sample_link = getattr(model, "sample_link", None)
+
+    # ------------------------------------------------------------------
+    # Link faults (resolved once per model, not per send)
+    # ------------------------------------------------------------------
+    @property
+    def faults(self) -> LinkFaultModel | None:
+        """The installed link-fault model (None when faults are off)."""
+        return self._faults
+
+    def install_faults(
+        self,
+        model: LinkFaultModel | None,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Install a link-fault model drawing from its own dedicated ``rng``.
+
+        ``None`` or :class:`~repro.net.faults.NoFaults` uninstalls the
+        hook entirely: the transmission paths make **zero** fault-related
+        RNG draws, so fault-free runs stay bit-identical to pre-fault-layer
+        trajectories. An active model requires ``rng`` — a stream separate
+        from the network's own, so enabling faults never shifts the
+        channel-loss or latency draws (the scenario layer derives it from
+        ``derive_seed(seed, "spec/faults")``).
+        """
+        if model is None or type(model) is NoFaults:
+            self._faults = None
+            self._fault_rng = None
+            self._fault_hook = None
+            return
+        if not callable(getattr(model, "transmit", None)):
+            raise ConfigError(
+                f"faults must be a link-fault model, got {model!r}"
+            )
+        if rng is None:
+            raise ConfigError(
+                "an active fault model needs a dedicated fault rng "
+                "(pass rng=...; it must not be the network's own stream)"
+            )
+        self._faults = model
+        self._fault_rng = rng
+        self._fault_hook = model.transmit
 
     # ------------------------------------------------------------------
     # Registration
@@ -281,6 +340,37 @@ class Network:
             if sample_link is not None
             else self._latency.sample(self._rng)
         )
+        fault_hook = self._fault_hook
+        if fault_hook is not None:
+            copies, faulted_delay = fault_hook(
+                sender, target, delay, self._fault_rng
+            )
+            if copies == 0:
+                self.stats.record_fault(FAULT_LOSS)
+                self._drop(message, sender, target, DROP_FAULT_LOSS)
+                return False
+            if faulted_delay != delay:
+                self.stats.record_fault(FAULT_DELAY_SPIKE)
+                if self.trace.enabled:
+                    self.trace.record(
+                        now, "net.fault", sender, target,
+                        message_kind=message.kind, reason=FAULT_DELAY_SPIKE,
+                    )
+                delay = faulted_delay
+            if copies > 1:
+                self.stats.record_fault(FAULT_DUPLICATE, copies - 1)
+                if self.trace.enabled:
+                    self.trace.record(
+                        now, "net.fault", sender, target,
+                        message_kind=message.kind, reason=FAULT_DUPLICATE,
+                    )
+                self._engine.schedule_apply(
+                    delay,
+                    self._deliver_batch,
+                    (sender, (target,) * copies, message),
+                    count=copies,
+                )
+                return True
         self._engine.schedule_apply(delay, self._deliver, (sender, target, message))
         return True
 
@@ -346,6 +436,17 @@ class Network:
         fixed_delay = latency.delay if type(latency) is ConstantLatency else None
         sample_link = self._sample_link
 
+        # The fault hook draws from its own dedicated rng (never the
+        # network stream), so a fault-free multicast makes exactly the
+        # draws it always did. A fault-lost target joins the shared drop
+        # bookkeeping; a delay-spiked target simply lands in a different
+        # latency-class batch (it "splits out" of its class); a
+        # duplicated target appears ``copies`` times in its batch, so
+        # survivors still share one engine entry per latency class.
+        fault_hook = self._fault_hook
+        fault_rng = self._fault_rng
+        fault_loss = fault_dup = fault_spike = 0
+
         drop_counts: dict[str, int] = {}
         batches: dict[float, list[int]] = {}
         for target in targets:
@@ -366,12 +467,42 @@ class Network:
                     delay = sample_link(sender, target, rng)
                 else:
                     delay = latency.sample(rng)
-                batch = batches.get(delay)
-                if batch is None:
-                    batches[delay] = [target]
-                else:
-                    batch.append(target)
-                continue
+                copies = 1
+                if fault_hook is not None:
+                    copies, faulted_delay = fault_hook(
+                        sender, target, delay, fault_rng
+                    )
+                    if copies:
+                        if faulted_delay != delay:
+                            fault_spike += 1
+                            if tracing:
+                                trace.record(
+                                    now, "net.fault", sender, target,
+                                    message_kind=kind,
+                                    reason=FAULT_DELAY_SPIKE,
+                                )
+                            delay = faulted_delay
+                        if copies > 1:
+                            fault_dup += copies - 1
+                            if tracing:
+                                trace.record(
+                                    now, "net.fault", sender, target,
+                                    message_kind=kind,
+                                    reason=FAULT_DUPLICATE,
+                                )
+                if copies:
+                    batch = batches.get(delay)
+                    if batch is None:
+                        batches[delay] = (
+                            [target] if copies == 1 else [target] * copies
+                        )
+                    elif copies == 1:
+                        batch.append(target)
+                    else:
+                        batch.extend((target,) * copies)
+                    continue
+                fault_loss += 1
+                reason = DROP_FAULT_LOSS
             drop_counts[reason] = drop_counts.get(reason, 0) + 1
             if tracing:
                 trace.record(
@@ -380,6 +511,10 @@ class Network:
                 )
         for reason, dropped in drop_counts.items():
             stats.record_dropped_many(message, reason, dropped)
+        if fault_hook is not None:
+            stats.record_fault(FAULT_LOSS, fault_loss)
+            stats.record_fault(FAULT_DUPLICATE, fault_dup)
+            stats.record_fault(FAULT_DELAY_SPIKE, fault_spike)
 
         # Each latency class becomes one applied array-batch entry — no
         # per-destination closures, and pending/processed still count every

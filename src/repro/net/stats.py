@@ -21,6 +21,28 @@ DROP_DEAD_TARGET = "dead_target"
 DROP_DEAD_SENDER = "dead_sender"
 DROP_PERCEIVED_FAILED = "perceived_failed"
 DROP_PARTITIONED = "partitioned"
+DROP_FAULT_LOSS = "fault_loss"
+
+#: Every drop reason, in a stable order (scenario metrics emit one
+#: fixed-key counter per reason so repeated runs always aggregate).
+DROP_REASONS = (
+    DROP_CHANNEL_LOSS,
+    DROP_DEAD_TARGET,
+    DROP_DEAD_SENDER,
+    DROP_PERCEIVED_FAILED,
+    DROP_PARTITIONED,
+    DROP_FAULT_LOSS,
+)
+
+#: Injected-fault reasons recorded by the link-fault layer
+#: (:mod:`repro.net.faults`): a ``loss`` is additionally a drop with
+#: reason :data:`DROP_FAULT_LOSS`; duplicates count the *extra* copies;
+#: delay spikes count inflated-latency transmissions.
+FAULT_LOSS = "loss"
+FAULT_DUPLICATE = "duplicate"
+FAULT_DELAY_SPIKE = "delay_spike"
+
+FAULT_REASONS = (FAULT_LOSS, FAULT_DUPLICATE, FAULT_DELAY_SPIKE)
 
 
 @dataclass
@@ -40,6 +62,8 @@ class NetworkStats:
     inter_group_delivered: Counter = field(default_factory=Counter)
     #: §IV-A load distribution — event messages sent per process.
     events_sent_by_sender: Counter = field(default_factory=Counter)
+    #: Injected link faults by reason (loss / duplicate / delay_spike).
+    faults_by_reason: Counter = field(default_factory=Counter)
 
     # ------------------------------------------------------------------
     # Recording (called by the network)
@@ -69,6 +93,17 @@ class NetworkStats:
         """Count a drop with its cause."""
         self.dropped_by_reason[reason] += 1
         self.dropped_by_kind[message.kind] += 1
+
+    def record_fault(self, reason: str, count: int = 1) -> None:
+        """Count ``count`` injected link faults of one reason.
+
+        A fault loss is *also* recorded as a drop (reason
+        :data:`DROP_FAULT_LOSS`) by the network, so the drop ledger stays
+        complete; duplicates and delay spikes only appear here.
+        """
+        if count <= 0:
+            return
+        self.faults_by_reason[reason] += count
 
     # ------------------------------------------------------------------
     # Bulk recording (the multicast fast path — one call per fan-out)
@@ -169,6 +204,7 @@ class NetworkStats:
             "sent_by_kind": dict(self.sent_by_kind),
             "delivered_by_kind": dict(self.delivered_by_kind),
             "dropped_by_reason": dict(self.dropped_by_reason),
+            "faults_by_reason": dict(self.faults_by_reason),
             "intra_group_sent": {
                 topic.name: count for topic, count in self.intra_group_sent.items()
             },
@@ -189,3 +225,4 @@ class NetworkStats:
         self.intra_group_delivered.clear()
         self.inter_group_delivered.clear()
         self.events_sent_by_sender.clear()
+        self.faults_by_reason.clear()

@@ -36,9 +36,9 @@ class SimulationHarness:
         latency: LatencyModel = ZERO_LATENCY,
         failure_model: FailureModel | None = None,
         trace: bool = False,
-        tracker: str = "full",
+        tracker: str | DeliveryTracker | StreamingDeliveryTracker = "full",
     ):
-        if tracker not in ("full", "streaming"):
+        if isinstance(tracker, str) and tracker not in ("full", "streaming"):
             raise ConfigError(
                 f"tracker must be 'full' or 'streaming', got {tracker!r}"
             )
@@ -57,11 +57,17 @@ class SimulationHarness:
         )
         #: ``tracker="full"`` keeps per-(event, pid) records (the figures'
         #: raw material); ``"streaming"`` folds deliveries into O(topics)
-        #: per-topic aggregates for 10⁵–10⁶-process runs.
-        self.tracker = (
-            StreamingDeliveryTracker() if tracker == "streaming"
-            else DeliveryTracker()
-        )
+        #: per-topic aggregates for 10⁵–10⁶-process runs. A pre-built
+        #: tracker instance is adopted as-is — how the scenario layer
+        #: installs a windowed ``StreamingDeliveryTracker(window=...)``
+        #: for the graceful-degradation series.
+        if isinstance(tracker, str):
+            self.tracker = (
+                StreamingDeliveryTracker() if tracker == "streaming"
+                else DeliveryTracker()
+            )
+        else:
+            self.tracker = tracker
         self._pid_counter = itertools.count(0)
 
     def next_pid(self) -> int:

@@ -24,6 +24,11 @@ composing the ingredients that already exist as modules:
 * a **latency model** (``latency`` section, either mode:
   constant/uniform/exponential, with optional per-link-class
   ``intra``/``inter`` overrides for daMulticast),
+* a **link-fault plan** (``faults`` section, either mode: Bernoulli or
+  Gilbert–Elliott burst loss, duplication, delay spikes — composed
+  loss → duplicate → delay_spike per link, with optional per-link-class
+  ``intra``/``inter`` overrides for daMulticast; see
+  :mod:`repro.net.faults`),
 * and, in dynamic mode, a **bootstrap arrival schedule** (``dynamic``
   section: immediate, staggered, or waves) plus an orchestrated **failure
   campaign** (``campaign`` section compiling to
@@ -44,10 +49,13 @@ Determinism
 ``run_spec(spec, seed)`` is a pure function of ``(spec, seed)``: every
 random decision draws from a stream derived via
 :func:`~repro.sim.rng.derive_seed` (``spec/subscriptions``,
-``spec/publications/<i>``, ``spec/scenario``, and in dynamic mode
-``spec/churn`` for churn realization and ``spec/campaign`` for campaign
-samples), so the same spec and seed give bit-identical metrics in any
-process. That is what makes specs
+``spec/publications/<i>``, ``spec/scenario``, ``spec/faults`` for the
+link-fault coins, and in dynamic mode ``spec/churn`` for churn
+realization and ``spec/campaign`` for campaign samples), so the same
+spec and seed give bit-identical metrics in any process. The fault
+coins draw from their own stream, so a spec with ``faults`` omitted
+(or every stage ``none``) makes **zero** fault draws and is
+bit-identical to the same spec before the fault layer existed. That is what makes specs
 sweepable over any field through the parallel sweep engine:
 :func:`sweep_scenario` derives per-cell seeds with the standard
 ``derive_seed(master_seed, f"{label}/{point}/{j}")`` contract and is
@@ -91,7 +99,22 @@ from repro.failures.churn import ChurnSchedule
 from repro.failures.dynamic import DynamicFailures
 from repro.failures.injector import FailureCampaign
 from repro.failures.stillborn import sample_stillborn
+from repro.metrics.degradation import (
+    WindowPoint,
+    degradation_summary,
+    delivery_ratio_series,
+)
 from repro.metrics.delivery import parasite_deliveries
+from repro.net.faults import (
+    NO_FAULTS,
+    BernoulliLoss,
+    DelaySpike,
+    DuplicateModel,
+    FaultPipeline,
+    GilbertElliott,
+    LinkClassFaults,
+    LinkFaultModel,
+)
 from repro.net.latency import (
     ConstantLatency,
     ExponentialLatency,
@@ -101,6 +124,7 @@ from repro.net.latency import (
     ZERO_LATENCY,
 )
 from repro.net.partitions import StaticPartition
+from repro.net.stats import DROP_REASONS, FAULT_REASONS
 from repro.sim.rng import derive_seed
 from repro.topics.builders import balanced_tree, chain, from_names
 from repro.topics.hierarchy import TopicHierarchy
@@ -131,6 +155,7 @@ _TOP_KEYS = {
     "failures",
     "campaign",
     "latency",
+    "faults",
     "dynamic",
     "params",
     "p_success",
@@ -718,6 +743,112 @@ def _validate_latency(
     _reject_unknown_keys(section, allowed, where)
 
 
+def _validate_faults(
+    section: Mapping,
+    protocol: str,
+    where: str = "faults",
+    allow_overrides: bool = True,
+) -> None:
+    """Validate one ``faults`` (sub-)section.
+
+    Shape (all keys optional; every sub-section is a mapping so any field
+    is reachable by :func:`spec_with` dotted paths, e.g.
+    ``faults.loss.p`` or ``faults.overrides.inter.loss.p``)::
+
+        {"loss":        {"kind": "bernoulli", "p": ...}
+                      | {"kind": "gilbert_elliott", "p_good_bad": ...,
+                         "p_bad_good": ..., "loss_good": ..., "loss_bad": ...}
+                      | {"kind": "none"},
+         "duplicate":   {"p": ..., "max_copies": ...},
+         "delay_spike": {"p": ..., "factor": ...} | {"p": ..., "extra": ...},
+         "overrides":   {"intra"/"inter": <same shape, no overrides>}}
+    """
+    _require_mapping(section, where)
+    allowed = {"loss", "duplicate", "delay_spike"}
+    if "loss" in section:
+        sub = _require_mapping(section["loss"], f"{where}.loss")
+        sub_where = f"{where}.loss"
+        kind = _take_kind(
+            sub, ("none", "bernoulli", "gilbert_elliott"), sub_where
+        )
+        if kind == "none":
+            _reject_unknown_keys(sub, {"kind"}, sub_where)
+        elif kind == "bernoulli":
+            _reject_unknown_keys(sub, {"kind", "p"}, sub_where)
+            _get_number(sub, "p", sub_where, minimum=0.0, maximum=1.0)
+        else:  # gilbert_elliott
+            _reject_unknown_keys(
+                sub,
+                {"kind", "p_good_bad", "p_bad_good", "loss_good", "loss_bad"},
+                sub_where,
+            )
+            p_gb = _get_number(
+                sub, "p_good_bad", sub_where, minimum=0.0, maximum=1.0
+            )
+            p_bg = _get_number(
+                sub, "p_bad_good", sub_where, minimum=0.0, maximum=1.0
+            )
+            if p_gb + p_bg <= 0.0:
+                raise ConfigError(
+                    f"{sub_where}: need p_good_bad + p_bad_good > 0 (both "
+                    "zero means the chain never moves)"
+                )
+            _get_number(
+                sub, "loss_good", sub_where,
+                default=0.0, minimum=0.0, maximum=1.0,
+            )
+            _get_number(
+                sub, "loss_bad", sub_where,
+                default=1.0, minimum=0.0, maximum=1.0,
+            )
+    if "duplicate" in section:
+        sub = _require_mapping(section["duplicate"], f"{where}.duplicate")
+        sub_where = f"{where}.duplicate"
+        _reject_unknown_keys(sub, {"p", "max_copies"}, sub_where)
+        _get_number(sub, "p", sub_where, minimum=0.0, maximum=1.0)
+        _get_number(
+            sub, "max_copies", sub_where, default=2, minimum=2, integer=True
+        )
+    if "delay_spike" in section:
+        sub = _require_mapping(section["delay_spike"], f"{where}.delay_spike")
+        sub_where = f"{where}.delay_spike"
+        _reject_unknown_keys(sub, {"p", "factor", "extra"}, sub_where)
+        _get_number(sub, "p", sub_where, minimum=0.0, maximum=1.0)
+        if ("factor" in sub) == ("extra" in sub):
+            raise ConfigError(
+                f"{sub_where}: give exactly one of 'factor' (multiplies the "
+                "sampled latency) or 'extra' (adds to it)"
+            )
+        if "factor" in sub:
+            _get_number(sub, "factor", sub_where, minimum=1.0)
+        else:
+            _get_number(sub, "extra", sub_where, minimum=0.0)
+    if allow_overrides:
+        allowed |= {"overrides"}
+        if "overrides" in section:
+            overrides = _require_mapping(
+                section["overrides"], f"{where}.overrides"
+            )
+            if protocol != "daMulticast":
+                raise ConfigError(
+                    f"{where}.overrides: per-link-class faults require "
+                    f"protocol 'daMulticast', got {protocol!r}"
+                )
+            for name, sub in overrides.items():
+                if name not in _LINK_CLASSES:
+                    raise ConfigError(
+                        f"{where}.overrides: unknown link class {name!r}; "
+                        f"allowed: {', '.join(_LINK_CLASSES)}"
+                    )
+                _validate_faults(
+                    sub,
+                    protocol,
+                    where=f"{where}.overrides[{name!r}]",
+                    allow_overrides=False,
+                )
+    _reject_unknown_keys(section, allowed, where)
+
+
 def _validate_params(
     section: Mapping, protocol: str
 ) -> tuple[TopicParams, dict[Topic, TopicParams]]:
@@ -1022,6 +1153,43 @@ class CompiledSpec:
         }
         return LinkClassLatency(default, overrides)
 
+    def _faults_model(self) -> LinkFaultModel | None:
+        """Fresh fault-model instances for one build (per-link state like
+        Gilbert–Elliott's must never leak across builds); None when the
+        spec configures no fault stage at all."""
+        section = self.spec.get("faults")
+        if section is None:
+            return None
+        default = _make_fault_pipeline(section)
+        overrides_spec = section.get("overrides")
+        if not overrides_spec:
+            return default
+        overrides = {
+            name: model
+            for name, sub in sorted(overrides_spec.items())
+            if (model := _make_fault_pipeline(sub)) is not None
+        }
+        if not overrides:
+            return default
+        return LinkClassFaults(default or NO_FAULTS, overrides)
+
+    def _install_faults(self, system, seed: int) -> None:
+        """Install the spec's fault model on the built system's network.
+
+        The coins come from the dedicated ``spec/faults`` stream, so
+        installing a model never perturbs the network/latency draw
+        sequence — a 0%-loss point of a sweep replays the exact fault-free
+        trajectory.
+        """
+        model = self._faults_model()
+        if model is None:
+            return
+        if isinstance(model, LinkClassFaults):
+            model.bind(_topic_link_classifier(system))
+        system.harness.network.install_faults(
+            model, random.Random(derive_seed(seed, "spec/faults"))
+        )
+
     def _dynamic_settings(self) -> dict[str, Any]:
         section = self.spec.get("dynamic", {})
         return {
@@ -1151,6 +1319,7 @@ class CompiledSpec:
         )
         if isinstance(latency_model, LinkClassLatency):
             latency_model.bind(_topic_link_classifier(system))
+        self._install_faults(system, seed)
         for time, topic in joins:
             system.engine.schedule_at(
                 time, functools.partial(system.add_process, topic)
@@ -1205,6 +1374,7 @@ class CompiledSpec:
         if self.mode == "dynamic":
             return self._build_dynamic(seed, counts)
         system = self._make_system(seed, counts)
+        self._install_faults(system, seed)
         populate_system(system, counts)
         schedule = self._realize_schedule(
             self.spec.get("publications", {"kind": "single"}),
@@ -1242,6 +1412,52 @@ def _members(system, topic: Topic) -> list:
     if hasattr(system, "subscribers_of"):
         return system.subscribers_of(topic)
     return system.group(topic)
+
+
+def _make_fault_pipeline(section: Mapping) -> LinkFaultModel | None:
+    """One validated faults sub-section → a composed model, or None.
+
+    Stages compose loss → duplicate → delay_spike (a lost message cannot
+    be duplicated or delayed). Returns None when no stage is configured —
+    the caller then installs nothing, so the fault RNG stream is never
+    consulted and the run is bit-identical to a spec without ``faults``.
+    A configured stage with ``p == 0`` *is* installed (it draws but never
+    fires), so every point of a loss-rate sweep — including 0 — pays the
+    same draw sequence and differs only in coin outcomes.
+    """
+    stages: list[LinkFaultModel] = []
+    loss = section.get("loss")
+    if loss is not None and loss["kind"] != "none":
+        if loss["kind"] == "bernoulli":
+            stages.append(BernoulliLoss(loss["p"]))
+        else:
+            stages.append(
+                GilbertElliott(
+                    loss["p_good_bad"],
+                    loss["p_bad_good"],
+                    loss_good=loss.get("loss_good", 0.0),
+                    loss_bad=loss.get("loss_bad", 1.0),
+                )
+            )
+    duplicate = section.get("duplicate")
+    if duplicate is not None:
+        stages.append(
+            DuplicateModel(duplicate["p"], duplicate.get("max_copies", 2))
+        )
+    spike = section.get("delay_spike")
+    if spike is not None:
+        stages.append(
+            DelaySpike(
+                spike["p"],
+                factor=spike.get("factor"),
+                extra=spike.get("extra"),
+            )
+        )
+    if not stages:
+        return None
+    if len(stages) == 1:
+        return stages[0]
+    return FaultPipeline(stages)
 
 
 def _make_latency(section: Mapping) -> LatencyModel:
@@ -1327,7 +1543,7 @@ class BuiltScenario:
                 system.delivered_fraction(event, event.topic, alive_only=False)
             )
         parasites = parasite_deliveries(system.tracker, system.interests())
-        return {
+        out = {
             "events": float(events),
             "event_messages": event_messages,
             "messages_per_event": event_messages / events if events else 0.0,
@@ -1344,6 +1560,37 @@ class BuiltScenario:
                 sum(1 for count in self.counts.values() if count > 0)
             ),
         }
+        # Zero-filled over the full reason vocabularies (not just reasons
+        # that fired) so every run of every spec emits the same key set.
+        for reason in DROP_REASONS:
+            out[f"dropped_{reason}"] = float(
+                system.stats.dropped_by_reason.get(reason, 0)
+            )
+        for reason in FAULT_REASONS:
+            out[f"faults_{reason}"] = float(
+                system.stats.faults_by_reason.get(reason, 0)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Graceful-degradation queries (post-execute)
+    # ------------------------------------------------------------------
+    def delivery_windows(self, window: float) -> list[WindowPoint]:
+        """Sliding-window delivery-ratio series of this run (event time).
+
+        See :func:`repro.metrics.degradation.delivery_ratio_series`; the
+        repair time after a fault/failure window is
+        :func:`repro.metrics.degradation.time_to_repair` over this series.
+        """
+        return delivery_ratio_series(self.system.tracker, window)
+
+    def degradation(self) -> dict[str, dict[str, float | int | None]]:
+        """Per-topic delivered fractions (delivered / expected-at-publish).
+
+        One sweep point of a delivered-fraction-vs-loss-rate reliability
+        curve; see :func:`repro.metrics.degradation.degradation_summary`.
+        """
+        return degradation_summary(self.system.tracker)
 
 
 # ----------------------------------------------------------------------
@@ -1418,6 +1665,8 @@ def compile_spec(spec: Mapping) -> CompiledSpec:
                 )
     if "latency" in spec:
         _validate_latency(spec["latency"], protocol)
+    if "faults" in spec:
+        _validate_faults(spec["faults"], protocol)
     params, overrides = _validate_params(spec.get("params", {}), protocol)
     p_success = _get_number(
         spec, "p_success", "spec", default=1.0, minimum=0.0, maximum=1.0

@@ -425,6 +425,8 @@ class TestPresets:
             "bootstrap-wave",
             "churn-heavy",
             "churn-recover",
+            "loss-sweep",
+            "lossy-wan",
             "news-burst",
             "paper-vii",
             "partition-heal",
