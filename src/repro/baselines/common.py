@@ -26,6 +26,7 @@ from repro.net.latency import LatencyModel, ZERO_LATENCY
 from repro.net.message import EventMessage, Message, Scope
 from repro.runtime import SimulationHarness
 from repro.topics.topic import Topic
+from repro.validation import check_finite, check_positive
 
 
 @dataclass
@@ -180,6 +181,9 @@ class BaselineSystem:
             failure_model=failure_model,
             trace=trace,
         )
+        check_finite(b, "b")
+        check_finite(c, "c")
+        check_positive(log_base, "log_base")
         self.b = b
         self.c = c
         self.log_base = log_base

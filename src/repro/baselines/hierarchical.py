@@ -30,6 +30,7 @@ from repro.membership.static import GroupSampler, GroupTableBuilder
 from repro.membership.view import ProcessDescriptor
 from repro.net.message import EventMessage, Scope
 from repro.topics.topic import Topic
+from repro.validation import check_finite
 
 #: Synthetic parent topic for cluster group identities.
 CLUSTERS_ROOT = Topic.parse(".cluster")
@@ -87,6 +88,8 @@ class HierarchicalGossipSystem(BaselineSystem):
         if n_clusters < 1:
             raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
         self.n_clusters = n_clusters
+        if c2 is not None:
+            check_finite(c2, "c2")
         #: cross-cluster fan-out constant c2 (defaults to c1 = self.c)
         self.c2 = self.c if c2 is None else c2
         self._clusters: dict[Topic, list[HierarchicalProcess]] = {}

@@ -349,6 +349,34 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario_list.add_argument(
         "--names", action="store_true", help="print bare preset names only"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism lint (rules DET001-DET005)",
+        description=(
+            "Statically check RNG-stream, purity, hash-order and "
+            "NaN-validation invariants; exits 1 when any unsuppressed "
+            "finding remains (see README, 'Determinism invariants')."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list pragma-suppressed findings and their rationales",
+    )
     return parser
 
 
@@ -567,9 +595,22 @@ def _run_tuning_command(args: argparse.Namespace) -> Table:
     return table
 
 
+def _run_lint_command(args: argparse.Namespace) -> int:
+    from repro.lint import render_json, render_text, run_lint
+
+    report = run_lint(args.paths)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint_command(args)
     if args.command == "scenario":
         try:
             return _run_scenario_command(args)

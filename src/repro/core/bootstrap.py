@@ -31,6 +31,7 @@ from repro.membership.view import ProcessDescriptor
 from repro.net.message import AnsContact, ReqContact
 from repro.sim.engine import PeriodicTask
 from repro.topics.topic import Topic
+from repro.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.process import DaMulticastProcess
@@ -49,6 +50,7 @@ class FindSuperContact:
         ttl: int,
         max_attempts: int | None = 10,
     ):
+        check_positive(timeout, "timeout")
         self._process = process
         self._timeout = timeout
         self._ttl = ttl

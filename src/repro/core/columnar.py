@@ -525,6 +525,7 @@ class ColumnarStaticSystem:
 
     def processes(self) -> Iterator[int]:
         """Every pid, ascending (blocks are allocated in group order)."""
+        # repro-lint: allow[DET003]: blocks are allocated in ascending-pid group order, so insertion order IS the documented order
         for block in self._blocks.values():
             yield from block
 

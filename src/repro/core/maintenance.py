@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.net.message import NewProcessReply, NewProcessRequest, Ping
 from repro.sim.engine import PeriodicTask
+from repro.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.process import DaMulticastProcess
@@ -41,6 +42,8 @@ class KeepTableUpdated:
         interval: float,
         ping_timeout: float,
     ):
+        check_positive(interval, "interval")
+        check_positive(ping_timeout, "ping_timeout")
         self._process = process
         self._interval = interval
         self._ping_timeout = ping_timeout

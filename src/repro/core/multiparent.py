@@ -122,6 +122,7 @@ class MultiParentProcess:
         params = self._params
         # (1) hand the event to EVERY supergroup, one election per table;
         # each table's elected contacts go out as one batched multicast.
+        # repro-lint: allow[DET003]: super_tables is built in fixed ancestor order at construction; sorting would permute the draw sequence and break golden digests
         for super_topic, table in self.super_tables.items():
             if table.is_empty:
                 continue
@@ -282,6 +283,7 @@ class MultiParentSystem:
         (O(S²) per group), with draw-identical results.
         """
         rng = self.harness.rngs.stream("static-membership")
+        # repro-lint: allow[DET003]: _groups preserves deterministic subscription order; sorting would change the membership draw sequence vs goldens
         for topic, members in self._groups.items():
             params = self.config.params_for(topic)
             size = len(members)

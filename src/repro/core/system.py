@@ -260,6 +260,7 @@ class DaMulticastSystem:
             topic: [p.descriptor for p in members]
             for topic, members in self._groups.items()
         }
+        # repro-lint: allow[DET003]: _groups preserves deterministic subscription order; sorting would change the membership draw sequence vs goldens
         for topic, members in self._groups.items():
             params = self.config.params_for(topic)
             capacity = params.table_capacity(len(members))

@@ -170,6 +170,7 @@ def measured_comparison(
     )
     per_algorithm: dict[str, list[Mapping[str, float]]] = {}
     for result in per_run:
+        # repro-lint: allow[DET003]: each per-run dict lists algorithms in the fixed _comparison_cell construction order
         for name, metrics in result.items():
             per_algorithm.setdefault(name, []).append(metrics)
 

@@ -50,6 +50,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigError
 from repro.sim.rng import derive_seed
+from repro.validation import check_finite_grid
 
 RunFn = Callable[[float, int], Mapping[str, float]]
 
@@ -179,6 +180,7 @@ def _run_chunk(
 ) -> list[tuple[int, bool, Any]]:
     out: list[tuple[int, bool, Any]] = []
     for index, cell in chunk:
+        # repro-lint: allow[DET004]: cell.seed_name is an f-string literal declared by each sweep driver and linted there
         seed = derive_seed(_WORKER_MASTER_SEED, cell.seed_name)
         try:
             result = _WORKER_RUN(cell.arg, seed)
@@ -284,6 +286,7 @@ def run_cells(
     results: list[Any] = [None] * total
     if jobs == 1 or total <= 1:
         for index, cell in enumerate(cells):
+            # repro-lint: allow[DET004]: cell.seed_name is an f-string literal declared by each sweep driver and linted there
             seed = derive_seed(master_seed, cell.seed_name)
             try:
                 results[index] = run(cell.arg, seed)
@@ -332,7 +335,11 @@ def run_cells(
         index, (cause, worker_tb) = min(failures)
         cell = cells[index]
         raise SweepWorkerError(
-            cell, derive_seed(master_seed, cell.seed_name), cause, worker_tb
+            cell,
+            # repro-lint: allow[DET004]: cell.seed_name is an f-string literal declared by each sweep driver and linted there
+            derive_seed(master_seed, cell.seed_name),
+            cause,
+            worker_tb,
         )
     return results
 
@@ -370,11 +377,7 @@ def run_sweep(
         raise ConfigError(f"runs must be >= 1, got {runs}")
     if not grid:
         raise ConfigError("grid must not be empty")
-    for point in grid:
-        if math.isnan(point):
-            raise ConfigError("grid contains NaN")
-        if not math.isfinite(point):
-            raise ConfigError(f"grid contains non-finite point {point!r}")
+    check_finite_grid(grid)
     cells = [
         SweepCell(
             arg=point,
@@ -399,8 +402,10 @@ def run_sweep(
             samples[point_index * runs : (point_index + 1) * runs]
         )
         result.points.append(point)
+        # repro-lint: allow[DET003]: aggregate_runs returns dicts with sorted keys
         for key, value in means.items():
             result.means.setdefault(key, []).append(value)
+        # repro-lint: allow[DET003]: aggregate_runs returns dicts with sorted keys
         for key, value in stds.items():
             result.stds.setdefault(key, []).append(value)
     return result

@@ -10,11 +10,11 @@ sorted list of state transitions; liveness queries binary-search it.
 from __future__ import annotations
 
 import bisect
-import math
 import random
 from typing import Sequence
 
 from repro.errors import ConfigError
+from repro.validation import check_non_negative, check_positive
 
 
 class ChurnSchedule:
@@ -42,10 +42,7 @@ class ChurnSchedule:
         # False) and would silently corrupt the binary-searched timeline:
         # sorting puts NaN entries in an arbitrary position and
         # bisect_right's comparisons against them are meaningless.
-        if not math.isfinite(time):
-            raise ConfigError(f"transition time must be finite, got {time!r}")
-        if time < 0:
-            raise ConfigError(f"transition time must be >= 0, got {time}")
+        check_non_negative(time, "transition time")
         self._transitions.setdefault(pid, []).append((time, alive_after))
         self._dirty.add(pid)
         return self
@@ -97,10 +94,7 @@ class ChurnSchedule:
             raise ConfigError("crash_probability must be in [0,1]")
         if not 0.0 <= recover_probability <= 1.0:
             raise ConfigError("recover_probability must be in [0,1]")
-        if not math.isfinite(horizon):
-            raise ConfigError(f"horizon must be finite, got {horizon!r}")
-        if horizon <= 0:
-            raise ConfigError(f"horizon must be > 0, got {horizon}")
+        check_positive(horizon, "horizon")
         schedule = cls()
         for pid in pids:
             if rng.random() >= crash_probability:

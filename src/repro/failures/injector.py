@@ -11,12 +11,12 @@ campaigns compose with everything else deterministic in a run.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.failures.churn import ChurnSchedule
+from repro.validation import check_non_negative
 
 
 def _validate_action_time(at: float) -> None:
@@ -27,12 +27,7 @@ def _validate_action_time(at: float) -> None:
     timestamp, poisoning the engine's heap ordering and every crash/recover
     transition the action records.
     """
-    if isinstance(at, bool) or not isinstance(at, (int, float)):
-        raise ConfigError(f"action time must be a number, got {at!r}")
-    if not math.isfinite(at):
-        raise ConfigError(f"action time must be finite, got {at!r}")
-    if at < 0:
-        raise ConfigError(f"action time must be >= 0, got {at}")
+    check_non_negative(at, "action time")
 
 
 @dataclass
@@ -113,6 +108,7 @@ class FailureCampaign:
             victims: set[int] = set()
             for process in self._system.group(topic):
                 victims.update(process.super_table.pids)
+            # repro-lint: allow[DET003]: victims holds int pids; int hashes are unsalted, so set order is PYTHONHASHSEED-independent
             live = tuple(
                 pid for pid in victims if self._schedule.is_alive(pid, at)
             )

@@ -1,0 +1,71 @@
+"""Configuration for the determinism lint.
+
+The defaults encode this repository's layout: library code under
+``src/repro`` is held to every rule, while the CLI, benchmarks and
+examples may legitimately touch wall clocks (they time and display
+things). Exemptions are path globs per rule, matched against the
+POSIX form of the reported path.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: sim-pure rules do not apply to operator-facing layers
+DEFAULT_EXEMPT: Mapping[str, tuple[str, ...]] = {
+    # the CLI/benchmarks/examples may read clocks and show progress
+    "DET002": (
+        "*/cli.py",
+        "*/__main__.py",
+        "*benchmarks/*",
+        "*examples/*",
+    ),
+    # benchmarks/examples may use ad-hoc rngs for load shaping
+    "DET001": ("*benchmarks/*", "*examples/*"),
+    "DET003": ("*benchmarks/*", "*examples/*"),
+    "DET004": ("*benchmarks/*", "*examples/*"),
+    "DET005": ("*benchmarks/*", "*examples/*"),
+}
+
+#: where DET005 checks public module-level functions (constructors are
+#: checked everywhere) — the spec/validator layers whose float params
+#: feed the simulator
+DEFAULT_DET005_FUNCTION_PATHS: tuple[str, ...] = (
+    "*/workloads/*",
+    "*/net/*",
+    "*/failures/*",
+    "*/metrics/*",
+    "*/sim/*",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable surface of one lint run."""
+
+    #: rule ids to run; None = every registered rule
+    select: frozenset[str] | None = None
+    #: rule id → path globs it does not apply to
+    exempt: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_EXEMPT)
+    )
+    #: globs where DET005 checks public module-level functions
+    det005_function_paths: tuple[str, ...] = DEFAULT_DET005_FUNCTION_PATHS
+    #: extra function names DET005 accepts as finite-validators
+    extra_validators: tuple[str, ...] = ()
+    #: module holding STREAM_REGISTRY for DET004
+    registry_module: str = "repro.sim.rng"
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return self.select is None or rule_id in self.select
+
+    def rule_exempt(self, rule_id: str, path: str) -> bool:
+        return any(
+            fnmatch.fnmatch(path, pattern)
+            for pattern in self.exempt.get(rule_id, ())
+        )
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,69 @@
+"""Finding and report value types for the determinism lint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic at a precise ``path:line:col`` location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class Suppression:
+    """A finding silenced by an inline pragma, and the pragma's rationale."""
+
+    finding: Finding
+    pragma_line: int
+    rationale: str
+
+    def render(self) -> str:
+        return (
+            f"{self.finding.render()}  [suppressed L{self.pragma_line}: "
+            f"{self.rationale}]"
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting one or more files.
+
+    ``findings`` are the *unsuppressed* diagnostics (including pragma
+    hygiene problems — malformed pragmas, missing rationales, unused
+    suppressions); ``suppressed`` records what the inline pragmas
+    silenced, each with its rationale.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Suppression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+
+    def sort(self) -> None:
+        self.findings.sort()
+        self.suppressed.sort()

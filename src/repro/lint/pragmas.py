@@ -1,0 +1,162 @@
+"""Inline suppression pragmas for the determinism lint.
+
+Syntax (a comment, on the offending line or alone on the line above)::
+
+    risky_call()  # repro-lint: allow[DET003]: rationale for the exception
+    # repro-lint: allow[DET001,DET002]: one rationale for both rules
+    risky_call()
+
+The rationale after the closing ``]:`` is **mandatory** — a pragma
+without one does not suppress anything and is itself reported
+(``LINT001``), so every exception in the tree documents why it is safe.
+A pragma whose rules never fire on its target line is reported as unused
+(``LINT002``); that is what guarantees "deleting any pragma makes the
+lint fail" stays true as the code evolves.
+
+Comments are found with :mod:`tokenize`, so pragma-looking text inside
+string literals (e.g. the lint's own fixtures) is never misparsed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+PRAGMA_MARKER = "repro-lint:"
+
+#: the inline pragma: the marker followed by ``allow[RULE,...]: rationale``
+PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\]"
+    r"(?::\s*(?P<rationale>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed ``allow`` pragma."""
+
+    line: int  # line the comment is on
+    target_line: int  # line whose findings it suppresses
+    rules: tuple[str, ...]
+    rationale: str
+    used_rules: set[str] = field(default_factory=set)
+
+
+@dataclass
+class PragmaScan:
+    """All pragmas of one file plus the hygiene problems found scanning."""
+
+    pragmas: list[Pragma]
+    problems: list[Finding]
+
+    def suppression_for(self, rule: str, line: int) -> Pragma | None:
+        """The pragma that silences ``rule`` at ``line``, if any."""
+        for pragma in self.pragmas:
+            if pragma.target_line == line and rule in pragma.rules:
+                if not pragma.rationale:
+                    return None  # rationale-less pragmas suppress nothing
+                pragma.used_rules.add(rule)
+                return pragma
+        return None
+
+    def unused_pragma_findings(self, path: str) -> list[Finding]:
+        findings = []
+        for pragma in self.pragmas:
+            if not pragma.rationale:
+                continue  # already reported as LINT001
+            stale = [
+                rule for rule in pragma.rules if rule not in pragma.used_rules
+            ]
+            if stale:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=pragma.line,
+                        col=0,
+                        rule="LINT002",
+                        message=(
+                            f"unused suppression for {', '.join(stale)}: no "
+                            "such finding on the target line — delete the "
+                            "pragma or fix the rule list"
+                        ),
+                    )
+                )
+        return findings
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` of every comment; empty list on tokenize errors."""
+    comments = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the parser reports the real problem
+    return comments
+
+
+def scan_pragmas(source: str, path: str) -> PragmaScan:
+    """Parse every pragma comment in ``source``.
+
+    A pragma on a line with code targets that line; a pragma alone on a
+    line targets the next line that holds code.
+    """
+    lines = source.splitlines()
+    pragmas: list[Pragma] = []
+    problems: list[Finding] = []
+    for line_no, col, text in _comment_tokens(source):
+        if PRAGMA_MARKER not in text:
+            continue
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=line_no,
+                    col=col,
+                    rule="LINT001",
+                    message=(
+                        "malformed repro-lint pragma; expected "
+                        "'# repro-lint: allow[RULE,...]: rationale'"
+                    ),
+                )
+            )
+            continue
+        rationale = match.group("rationale") or ""
+        if not rationale:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=line_no,
+                    col=col,
+                    rule="LINT001",
+                    message=(
+                        "suppression pragma needs a rationale: "
+                        "'# repro-lint: allow[RULE]: why this is safe'"
+                    ),
+                )
+            )
+        standalone = lines[line_no - 1].strip().startswith("#")
+        target = line_no
+        if standalone:
+            for offset, candidate in enumerate(lines[line_no:], start=line_no + 1):
+                stripped = candidate.strip()
+                if stripped and not stripped.startswith("#"):
+                    target = offset
+                    break
+        pragmas.append(
+            Pragma(
+                line=line_no,
+                target_line=target,
+                rules=tuple(
+                    rule.strip() for rule in match.group("rules").split(",")
+                ),
+                rationale=rationale,
+            )
+        )
+    return PragmaScan(pragmas=pragmas, problems=problems)

@@ -1,0 +1,40 @@
+"""Render a lint report as human text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import LintReport
+
+
+def render_text(report: LintReport, show_suppressed: bool = False) -> str:
+    lines = [finding.render() for finding in report.findings]
+    if show_suppressed:
+        lines.extend(
+            suppression.render() for suppression in report.suppressed
+        )
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "findings": [
+                finding.as_dict() for finding in report.findings
+            ],
+            "suppressed": [
+                {
+                    **suppression.finding.as_dict(),
+                    "pragma_line": suppression.pragma_line,
+                    "rationale": suppression.rationale,
+                }
+                for suppression in report.suppressed
+            ],
+        },
+        indent=2,
+    )

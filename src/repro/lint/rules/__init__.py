@@ -1,0 +1,9 @@
+"""Bundled determinism rules; importing this package registers them."""
+
+from repro.lint.rules import (  # noqa: F401
+    det001_global_random,
+    det002_wall_clock,
+    det003_hash_order,
+    det004_stream_labels,
+    det005_finite_checks,
+)

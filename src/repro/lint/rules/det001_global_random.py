@@ -1,0 +1,102 @@
+"""DET001 — no draws from the process-global ``random`` module.
+
+Every random draw in library code must flow through an injected
+:class:`random.Random` whose seed was born from
+:func:`repro.sim.rng.derive_seed`. A single ``random.random()`` call
+consumes from the interpreter-wide Mersenne twister: it is invisible to
+the seed contract, couples unrelated components through shared hidden
+state, and silently breaks bit-identity the first time import order or
+call order shifts. ``random.Random`` / ``random.SystemRandom``
+*constructors* are not draws and are left to other rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+#: module-level functions of :mod:`random` that touch the global stream
+GLOBAL_DRAWS = frozenset(
+    {
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "getrandbits",
+        "randbytes",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "vonmisesvariate",
+        "gammavariate",
+        "triangular",
+        "betavariate",
+        "paretovariate",
+        "weibullvariate",
+        "binomialvariate",
+        "seed",
+        "setstate",
+        "getstate",
+    }
+)
+
+
+def module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Names the module is bound to at file scope (``import x as y``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def from_imports(tree: ast.Module, module: str) -> Iterator[tuple[ast.ImportFrom, str, str]]:
+    """``(node, original_name, bound_name)`` for ``from module import ...``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                yield node, alias.name, alias.asname or alias.name
+
+
+@register
+class GlobalRandomRule(Rule):
+    id = "DET001"
+    title = "no global random-module draws in library code"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = module_aliases(ctx.tree, "random")
+        for node, original, bound in from_imports(ctx.tree, "random"):
+            if original in GLOBAL_DRAWS:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"'from random import {original}' binds a global-stream "
+                    "draw; inject a random.Random seeded via derive_seed "
+                    "instead",
+                )
+        if not aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in aliases
+                and node.attr in GLOBAL_DRAWS
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"random.{node.attr} draws from the process-global RNG; "
+                    "all library draws must come from an injected "
+                    "random.Random born from derive_seed",
+                )

@@ -1,0 +1,128 @@
+"""DET002 — no wall-clock or OS-entropy sources in sim-pure code.
+
+Simulation time comes from the event engine and randomness from derived
+streams; a ``time.time()`` or ``os.urandom()`` in a sim-pure path makes
+a run irreproducible in a way no seed can fix. The CLI, benchmarks and
+examples are exempt by configuration (they time and display things for
+humans).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Rule, register
+from repro.lint.findings import Finding
+from repro.lint.rules.det001_global_random import from_imports, module_aliases
+
+#: wall-clock readers of :mod:`time`
+TIME_SOURCES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+    }
+)
+
+#: wall-clock constructors of :class:`datetime.datetime` / ``date``
+DATETIME_SOURCES = frozenset({"now", "utcnow", "today"})
+
+#: entropy readers of :mod:`os`
+OS_SOURCES = frozenset({"urandom", "getrandom"})
+
+#: entropy constructors of :mod:`uuid` (uuid3/uuid5 are digests of their
+#: inputs and deterministic, so only the clock/entropy ones are flagged)
+UUID_SOURCES = frozenset({"uuid1", "uuid4"})
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET002"
+    title = "no wall-clock/entropy sources in sim-pure paths"
+
+    def _flag(self, ctx: FileContext, node: ast.AST, what: str):
+        return ctx.finding(
+            node,
+            self.id,
+            f"{what} is a wall-clock/entropy source; sim-pure code must "
+            "take time from the engine and randomness from derive_seed "
+            "streams",
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        flagged_from = (
+            ("time", TIME_SOURCES),
+            ("os", OS_SOURCES),
+            ("uuid", UUID_SOURCES),
+        )
+        for module, sources in flagged_from:
+            for node, original, bound in from_imports(tree, module):
+                if original in sources:
+                    yield self._flag(
+                        ctx, node, f"'from {module} import {original}'"
+                    )
+        # `import secrets` / `from secrets import ...`: the module's whole
+        # purpose is OS entropy, so any import is a finding.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "secrets":
+                        yield self._flag(ctx, node, "the secrets module")
+            elif isinstance(node, ast.ImportFrom) and node.module == "secrets":
+                yield self._flag(ctx, node, "the secrets module")
+
+        time_aliases = module_aliases(tree, "time")
+        os_aliases = module_aliases(tree, "os")
+        uuid_aliases = module_aliases(tree, "uuid")
+        random_aliases = module_aliases(tree, "random")
+        datetime_mod_aliases = module_aliases(tree, "datetime")
+        #: names bound to the datetime/date *classes*
+        datetime_classes = {
+            bound
+            for _, original, bound in from_imports(tree, "datetime")
+            if original in {"datetime", "date"}
+        }
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if isinstance(value, ast.Name):
+                if value.id in time_aliases and node.attr in TIME_SOURCES:
+                    yield self._flag(ctx, node, f"time.{node.attr}")
+                elif value.id in os_aliases and node.attr in OS_SOURCES:
+                    yield self._flag(ctx, node, f"os.{node.attr}")
+                elif value.id in uuid_aliases and node.attr in UUID_SOURCES:
+                    yield self._flag(ctx, node, f"uuid.{node.attr}")
+                elif (
+                    value.id in random_aliases
+                    and node.attr == "SystemRandom"
+                ):
+                    yield self._flag(ctx, node, "random.SystemRandom")
+                elif (
+                    value.id in datetime_classes
+                    and node.attr in DATETIME_SOURCES
+                ):
+                    yield self._flag(
+                        ctx, node, f"datetime.{node.attr}"
+                    )
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in datetime_mod_aliases
+                and value.attr in {"datetime", "date"}
+                and node.attr in DATETIME_SOURCES
+            ):
+                yield self._flag(
+                    ctx, node, f"datetime.{value.attr}.{node.attr}"
+                )

@@ -1,0 +1,194 @@
+"""DET003 — PYTHONHASHSEED hazards: hash-ordered iteration and ``hash()``.
+
+A ``set`` of strings iterates in an order that changes with
+``PYTHONHASHSEED``; folding floats, appending results, or drawing from
+an RNG inside such a loop bakes the hash seed into the trajectory — the
+exact bug class fixed reactively in ``aggregate_runs`` (PR 3), where
+per-point means were emitted in hash order. Dict *views* are insertion-
+ordered, but looping one while drawing or folding still couples the
+result to construction order, so the same body test applies when the
+iterable is a bare ``.keys()/.values()/.items()`` call. ``hash()`` of a
+``str`` (or of anything containing one) is itself PYTHONHASHSEED-
+dependent and must not escape into digests or cross-process data —
+:func:`repro.sim.rng.derive_seed` exists precisely because of this.
+
+Detection is local and syntactic: an expression is *set-typed* when it
+is a set literal/comprehension, a ``set()``/``frozenset()`` call, a name
+assigned one of those in the same file, or a binary operation over one.
+A loop is flagged only when its body is order-sensitive (RNG draw,
+``.append``/``.extend``/``.insert``, augmented assignment with a
+non-constant right side, or ``yield``). Wrapping the iterable in
+``sorted(...)`` fixes the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Rule, register
+from repro.lint.findings import Finding
+from repro.lint.rules.det001_global_random import GLOBAL_DRAWS
+
+DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+#: accumulator methods whose result depends on call order
+ORDERED_APPENDS = frozenset({"append", "extend", "insert", "appendleft"})
+
+#: calls that consume an iterable order-insensitively
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "min", "max", "len", "any", "all"}
+)
+
+#: set methods returning sets
+SET_PRODUCERS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _set_typed_names(root: ast.AST) -> set[str]:
+    """Names assigned a set-typed expression anywhere in ``root``."""
+    names: set[str] = set()
+    # two passes so `b = a` after `a = set()` is caught
+    for _ in range(2):
+        for node in ast.walk(root):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and _is_set_expr(node.value, names)
+            ):
+                names.add(node.target.id)
+            elif isinstance(node, ast.AugAssign) and (
+                isinstance(node.target, ast.Name)
+                and _is_set_expr(node.value, names)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Is ``node`` syntactically a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in SET_PRODUCERS
+            and _is_set_expr(func.value, set_names)
+        ):
+            return True
+    return False
+
+
+def _is_dict_view(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in DICT_VIEWS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _order_sensitive_body(body: list[ast.stmt]) -> str | None:
+    """Why the loop body is order-sensitive, or None when it is not."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in GLOBAL_DRAWS:
+                    return f"draws via .{node.func.attr}()"
+                if node.func.attr in ORDERED_APPENDS:
+                    return f"appends results via .{node.func.attr}()"
+            elif isinstance(node, ast.AugAssign) and not isinstance(
+                node.value, ast.Constant
+            ):
+                return "folds values with augmented assignment"
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields in iteration order"
+    return None
+
+
+@register
+class HashOrderRule(Rule):
+    id = "DET003"
+    title = "PYTHONHASHSEED-dependent iteration or hash() escape"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        set_names = _set_typed_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id == "hash":
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "hash() is PYTHONHASHSEED-dependent for str (and "
+                        "anything containing one); use hashlib/derive_seed "
+                        "if the value reaches a digest or another process",
+                    )
+                elif (
+                    node.func.id in {"sum", "fsum"}
+                    and node.args
+                    and _is_set_expr(node.args[0], set_names)
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "summing a set folds floats in hash order; sum "
+                        "sorted(...) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                iterable = node.generators[0].iter
+                if _is_set_expr(iterable, set_names):
+                    parent = ctx.parent_of(node)
+                    if (
+                        isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Name)
+                        and parent.func.id in ORDER_INSENSITIVE_CALLS
+                    ):
+                        continue
+                    if isinstance(parent, ast.Call) and isinstance(
+                        parent.func, ast.Attribute
+                    ) and parent.func.attr in {"join", "union", "update"}:
+                        # "".join over a set is still order-dependent;
+                        # union/update are not
+                        if parent.func.attr != "join":
+                            continue
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "comprehension materializes a hash-ordered set into "
+                        "an ordered result; iterate sorted(...) instead",
+                    )
+            elif isinstance(node, ast.For):
+                reason = None
+                what = None
+                if _is_set_expr(node.iter, set_names):
+                    what = "a set"
+                elif _is_dict_view(node.iter):
+                    what = f"a dict .{node.iter.func.attr}() view"
+                if what is not None:
+                    reason = _order_sensitive_body(node.body)
+                if reason is not None:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"iterating {what} while the loop body {reason} "
+                        "bakes hash/insertion order into the result; "
+                        "iterate sorted(...) instead",
+                    )

@@ -1,0 +1,182 @@
+"""DET004 — RNG stream labels must be declared in the stream registry.
+
+:func:`repro.sim.rng.derive_seed` gives every named stream an
+independent seed — but only if names never collide. This rule harvests
+every stream label the source states literally (``derive_seed(seed,
+"spec/faults")``, ``rngs.stream(f"process/{pid}")``, ``SweepCell(...,
+seed_name=f"{label}/{point}/{j}")``) and checks it against
+``STREAM_REGISTRY`` in :mod:`repro.sim.rng`:
+
+* a literal label must be a declared entry (or match a declared
+  ``{placeholder}`` pattern);
+* an f-string label is normalized (each formatted field becomes ``{}``)
+  and must match a declared pattern; an f-string with **no variable
+  field** is flagged — a "dynamic" label that never varies silently
+  reuses one stream;
+* a label that is neither a literal nor an f-string cannot be checked
+  statically and is flagged — either lift the label to a literal or
+  suppress with a pragma explaining where the value comes from.
+
+When the linted file *is* the registry module, the registry itself is
+validated (duplicates, static/pattern and pattern/pattern collisions)
+via :func:`repro.sim.rng.validate_stream_registry`.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from typing import Iterable, Iterator
+
+from repro.lint.engine import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+#: attribute bases accepted as an RngRegistry for ``.stream(label)`` calls
+_RNG_BASE_NAMES = ("rngs", "rng_registry", "registry")
+
+
+def _normalize_fstring(node: ast.JoinedStr) -> tuple[str, bool]:
+    """``(normalized_label, has_variable_field)`` for an f-string label."""
+    parts: list[str] = []
+    has_variable = False
+    for value in node.values:
+        if isinstance(value, ast.Constant):
+            parts.append(str(value.value))
+        elif isinstance(value, ast.FormattedValue):
+            parts.append("{}")
+            for sub in ast.walk(value.value):
+                if isinstance(sub, (ast.Name, ast.Attribute)):
+                    has_variable = True
+                    break
+    return "".join(parts), has_variable
+
+
+def _label_matches_pattern(normalized: str, pattern: str) -> bool:
+    """Segment-wise compatibility of a normalized f-string label with a
+    registry entry: a ``{}`` (variable) segment on the label side or a
+    ``{placeholder}`` segment on the registry side matches anything, a
+    literal segment must match exactly."""
+    label_parts = normalized.split("/")
+    pattern_parts = pattern.split("/")
+    if len(label_parts) != len(pattern_parts):
+        return False
+    for label_part, pattern_part in zip(label_parts, pattern_parts):
+        if label_part == "{}" or "{" in pattern_part:
+            continue
+        if label_part != pattern_part:
+            return False
+    return True
+
+
+def _is_registry_stream_call(func: ast.Attribute) -> bool:
+    """``<...rngs>.stream(...)`` — the base must look like a registry."""
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id in _RNG_BASE_NAMES
+    if isinstance(base, ast.Attribute):
+        return base.attr in _RNG_BASE_NAMES
+    return False
+
+
+def _harvest(tree: ast.Module) -> Iterator[tuple[ast.expr, str]]:
+    """``(label_expr, where)`` for every statically visible stream label."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "derive_seed":
+            if len(node.args) >= 2:
+                yield node.args[1], "derive_seed"
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        yield keyword.value, "derive_seed"
+        elif isinstance(func, ast.Attribute) and func.attr == "stream":
+            if _is_registry_stream_call(func) and node.args:
+                yield node.args[0], "RngRegistry.stream"
+        for keyword in node.keywords:
+            if keyword.arg == "seed_name":
+                yield keyword.value, "seed_name"
+
+
+class _Registry:
+    """The declared registry, flattened for matching."""
+
+    def __init__(self, module_name: str):
+        module = importlib.import_module(module_name)
+        self.module = module
+        self.entries: list[str] = [
+            entry
+            for entries in module.STREAM_REGISTRY.values()
+            for entry in entries
+        ]
+        self.statics = {entry for entry in self.entries if "{" not in entry}
+        self.patterns = [entry for entry in self.entries if "{" in entry]
+        self._regexes = [
+            module.stream_pattern_regex(entry) for entry in self.patterns
+        ]
+
+    def matches_literal(self, label: str) -> bool:
+        if label in self.statics:
+            return True
+        return any(regex.fullmatch(label) for regex in self._regexes)
+
+    def matches_normalized(self, normalized: str) -> bool:
+        return any(
+            _label_matches_pattern(normalized, entry)
+            for entry in self.entries
+        )
+
+
+@register
+class StreamLabelRule(Rule):
+    id = "DET004"
+    title = "RNG stream labels declared in STREAM_REGISTRY"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        registry = _Registry(ctx.config.registry_module)
+        registry_path = registry.module.__name__.rsplit(".", 1)[-1] + ".py"
+        if ctx.path == registry_path or ctx.path.endswith("/" + registry_path):
+            for problem in registry.module.validate_stream_registry():
+                yield ctx.finding(
+                    ctx.tree, self.id, f"stream registry problem: {problem}"
+                )
+        for label_expr, where in _harvest(ctx.tree):
+            if isinstance(label_expr, ast.Constant) and isinstance(
+                label_expr.value, str
+            ):
+                label = label_expr.value
+                if not registry.matches_literal(label):
+                    yield ctx.finding(
+                        label_expr,
+                        self.id,
+                        f"{where} label {label!r} is not declared in "
+                        f"{ctx.config.registry_module}.STREAM_REGISTRY; "
+                        "declare it (collisions break stream independence)",
+                    )
+            elif isinstance(label_expr, ast.JoinedStr):
+                normalized, has_variable = _normalize_fstring(label_expr)
+                if not has_variable:
+                    yield ctx.finding(
+                        label_expr,
+                        self.id,
+                        f"{where} f-string label embeds no variable — a "
+                        "dynamic label that never varies reuses one stream; "
+                        "use a literal or interpolate an index",
+                    )
+                elif not registry.matches_normalized(normalized):
+                    yield ctx.finding(
+                        label_expr,
+                        self.id,
+                        f"{where} dynamic label {normalized!r} matches no "
+                        "pattern declared in "
+                        f"{ctx.config.registry_module}.STREAM_REGISTRY",
+                    )
+            else:
+                yield ctx.finding(
+                    label_expr,
+                    self.id,
+                    f"{where} label is not statically checkable (neither a "
+                    "string literal nor an f-string); lift it to a literal "
+                    "or suppress with a rationale naming the label source",
+                )

@@ -1,0 +1,290 @@
+"""DET005 — float parameters must reach a finite-check before use.
+
+The NaN-hole class patched three separate times in this repo (schedule
+spacings, latency constructors, churn/campaign times): a NaN passes
+every ordered comparison, so ``if x < 0: raise`` accepts it and the
+corruption surfaces far away — an unsorted engine heap, a poisoned
+binary search, a silently randomized stream. This rule checks *public
+constructors* (``__init__`` of public classes, everywhere) and *public
+module-level functions* (in the configured spec/validator layers): every
+float-ish parameter that the body stores or computes with raw must first
+reach a finite-check.
+
+Recognized as validation, structurally:
+
+* a call to a :mod:`repro.validation` helper (``check_finite``,
+  ``check_probability``, ``check_positive``, ...) or to any function in
+  the same file whose body performs a finite-check (transitively);
+* ``math.isfinite(x)`` / ``math.isnan(x)`` / ``x != x``;
+* a *chained* comparison such as ``0.0 <= x <= 1.0`` (unlike two
+  separate comparisons, a chain rejects NaN on its first link).
+
+Passing the parameter to any non-trivial call counts as delegation (the
+callee is responsible and is itself linted); builtins like ``float``,
+``min`` or ``abs`` pass NaN through and do not count.
+
+A parameter is float-ish when its annotation mentions ``float``, its
+default is a float literal, or its name is ``p`` / ends with
+``probability``/``fraction``/``rate``/``ratio``.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterable
+
+from repro.lint.engine import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+#: helpers from repro.validation (and their historical local names)
+KNOWN_VALIDATORS = frozenset(
+    {
+        "check_number",
+        "check_finite",
+        "check_non_negative",
+        "check_positive",
+        "check_probability",
+        "check_window",
+        "check_finite_grid",
+    }
+)
+
+#: builtins that pass NaN through unchanged — not validation, not delegation
+NAN_PASSTHROUGH = frozenset(
+    {
+        "float",
+        "int",
+        "abs",
+        "round",
+        "min",
+        "max",
+        "len",
+        "bool",
+        "str",
+        "repr",
+        "format",
+        "print",
+        "tuple",
+        "list",
+    }
+)
+
+FLOAT_NAME_SUFFIXES = ("probability", "fraction", "rate", "ratio")
+
+
+def _is_finite_call(node: ast.Call, validators: frozenset[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in validators or func.id in {"isfinite", "isnan"}
+    if isinstance(func, ast.Attribute):
+        if func.attr in {"isfinite", "isnan"}:
+            return True
+        return func.attr in validators
+    return False
+
+
+def _local_validators(tree: ast.Module) -> frozenset[str]:
+    """File-local functions that (transitively) perform a finite-check."""
+    validators = set(KNOWN_VALIDATORS)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in validators:
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and _is_finite_call(
+                    sub, frozenset(validators)
+                ):
+                    validators.add(node.name)
+                    changed = True
+                    break
+    return frozenset(validators)
+
+
+def _float_ish(arg: ast.arg, default: ast.expr | None) -> bool:
+    if arg.annotation is not None:
+        try:
+            if "float" in ast.unparse(arg.annotation):
+                return True
+        except Exception:  # pragma: no cover - unparse is total on 3.11
+            pass
+    if (
+        isinstance(default, ast.Constant)
+        and isinstance(default.value, float)
+    ):
+        return True
+    name = arg.arg
+    return name == "p" or name.endswith(FLOAT_NAME_SUFFIXES)
+
+
+def _params_with_defaults(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.arg, ast.expr | None]]:
+    args = node.args
+    out: list[tuple[ast.arg, ast.expr | None]] = []
+    positional = args.posonlyargs + args.args
+    defaults: list[ast.expr | None] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    out.extend(zip(positional, defaults))
+    out.extend(zip(args.kwonlyargs, args.kw_defaults))
+    return out
+
+
+class _ParamUsage(ast.NodeVisitor):
+    """How one parameter is used inside a function body."""
+
+    def __init__(self, name: str, validators: frozenset[str]):
+        self.name = name
+        self.validators = validators
+        self.validated = False
+        self.delegated = False
+        self.raw_use: ast.AST | None = None
+        self._in_raise = False
+
+    def _mentions(self, node: ast.AST | None) -> bool:
+        if node is None:
+            return False
+        return any(
+            isinstance(sub, ast.Name) and sub.id == self.name
+            for sub in ast.walk(node)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        involved = any(self._mentions(arg) for arg in node.args) or any(
+            self._mentions(keyword.value) for keyword in node.keywords
+        )
+        if involved:
+            if _is_finite_call(node, self.validators):
+                self.validated = True
+            elif not self._in_raise:
+                # `raise Error(x)` formats x, it does not validate it
+                func = node.func
+                passthrough = (
+                    isinstance(func, ast.Name) and func.id in NAN_PASSTHROUGH
+                )
+                if not passthrough:
+                    self.delegated = True
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        previous = self._in_raise
+        self._in_raise = True
+        self.generic_visit(node)
+        self._in_raise = previous
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._mentions(node):
+            if len(node.ops) >= 2 and all(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in node.ops
+            ):
+                # a chained `lo <= x <= hi` rejects NaN on its first link
+                self.validated = True
+            elif (
+                len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.NotEq,))
+                and self._mentions(node.left)
+                and self._mentions(node.comparators[0])
+            ):
+                self.validated = True  # the `x != x` NaN idiom
+            elif len(node.ops) == 1 and isinstance(
+                node.ops[0], (ast.Is, ast.IsNot)
+            ):
+                pass  # `x is None` guards — identity, NaN-proof
+            elif self.raw_use is None:
+                self.raw_use = node
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._mentions(node) and self.raw_use is None:
+            self.raw_use = node
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._mentions(node.value) and any(
+            isinstance(target, (ast.Attribute, ast.Subscript))
+            for target in node.targets
+        ):
+            if self.raw_use is None:
+                self.raw_use = node
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and self._mentions(node.value)
+            and isinstance(node.target, (ast.Attribute, ast.Subscript))
+            and self.raw_use is None
+        ):
+            self.raw_use = node
+        self.generic_visit(node)
+
+
+@register
+class FiniteCheckRule(Rule):
+    id = "DET005"
+    title = "float parameters validated finite before use"
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        validators: frozenset[str],
+    ) -> Iterable[Finding]:
+        for arg, default in _params_with_defaults(node):
+            if arg.arg in {"self", "cls"}:
+                continue
+            if not _float_ish(arg, default):
+                continue
+            usage = _ParamUsage(arg.arg, validators)
+            for stmt in node.body:
+                usage.visit(stmt)
+            if usage.validated or usage.delegated or usage.raw_use is None:
+                continue
+            yield ctx.finding(
+                usage.raw_use,
+                self.id,
+                f"float parameter {arg.arg!r} of {qualname} is used without "
+                "a finite-check (NaN passes every ordered comparison); "
+                "validate with repro.validation.check_finite / "
+                "check_probability first",
+            )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        validators = _local_validators(ctx.tree)
+        check_functions = any(
+            fnmatch.fnmatch(ctx.path, pattern)
+            for pattern in ctx.config.det005_function_paths
+        )
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and not node.name.startswith(
+                "_"
+            ):
+                for item in node.body:
+                    if (
+                        isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        )
+                        and item.name == "__init__"
+                    ):
+                        yield from self._check_function(
+                            ctx,
+                            item,
+                            f"{node.name}.__init__",
+                            validators,
+                        )
+            elif (
+                check_functions
+                and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and not node.name.startswith("_")
+                and node.name not in validators
+            ):
+                yield from self._check_function(
+                    ctx, node, node.name, validators
+                )

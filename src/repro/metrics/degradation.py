@@ -30,11 +30,11 @@ denominators.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import MetricsError
 from repro.topics.topic import Topic
+from repro.validation import check_finite, check_window
 
 
 @dataclass(frozen=True)
@@ -55,16 +55,7 @@ class WindowPoint:
 
 
 def _require_window(window: float) -> float:
-    if (
-        isinstance(window, bool)
-        or not isinstance(window, (int, float))
-        or not math.isfinite(window)
-        or window <= 0
-    ):
-        raise MetricsError(
-            f"window must be a finite number > 0, got {window!r}"
-        )
-    return float(window)
+    return check_window(window, "window", error=MetricsError)
 
 
 def _points_from_cells(
@@ -158,8 +149,7 @@ def time_to_repair(
         raise MetricsError(
             f"threshold must be a number in [0, 1], got {threshold!r}"
         )
-    if not isinstance(after, (int, float)) or not math.isfinite(after):
-        raise MetricsError(f"'after' must be a finite number, got {after!r}")
+    check_finite(after, "'after'", error=MetricsError)
     for point in series:
         if point.start < after or point.ratio is None:
             continue

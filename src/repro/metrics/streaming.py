@@ -34,6 +34,7 @@ import math
 from repro.core.events import Event, EventId
 from repro.errors import MetricsError
 from repro.topics.topic import Topic
+from repro.validation import check_window
 
 #: histogram buckets: [0] for latency <= 0, then one per power-of-two
 #: magnitude, clamped at both ends
@@ -137,15 +138,8 @@ class StreamingDeliveryTracker:
     mode = "streaming"
 
     def __init__(self, window: float | None = None) -> None:
-        if window is not None and (
-            isinstance(window, bool)
-            or not isinstance(window, (int, float))
-            or not math.isfinite(window)
-            or window <= 0
-        ):
-            raise MetricsError(
-                f"window must be a finite number > 0, got {window!r}"
-            )
+        if window is not None:
+            check_window(window, "window", error=MetricsError)
         #: sliding-window width (event time); None disables the window
         #: series (the per-window dict would otherwise grow O(horizon/width))
         self.window = float(window) if window is not None else None

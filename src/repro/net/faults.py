@@ -53,12 +53,12 @@ links rather than the whole gossip mesh.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ConfigError
 from repro.net.latency import LinkClassifier
+from repro.validation import check_finite, check_probability
 
 #: A fault outcome: (number of copies to deliver, delay to deliver at).
 FaultOutcome = "tuple[int, float]"
@@ -78,31 +78,6 @@ class LinkFaultModel(Protocol):
         returned ``delay`` replaces the sampled latency.
         """
         ...  # pragma: no cover - protocol
-
-
-def _require_probability(value: float, what: str) -> float:
-    """Probabilities must be finite numbers in [0, 1].
-
-    A NaN slips through every ordered comparison (``nan < 0`` is False),
-    so an unguarded ``< 0`` check would accept ``float("nan")`` and then
-    silently randomize the fault stream — same hardening convention as
-    the latency/schedule constructors.
-    """
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ConfigError(f"{what} must be a number, got {value!r}")
-    if not math.isfinite(value):
-        raise ConfigError(f"{what} must be finite, got {value!r}")
-    if not 0.0 <= value <= 1.0:
-        raise ConfigError(f"{what} must be in [0, 1], got {value}")
-    return float(value)
-
-
-def _require_finite(value: float, what: str) -> float:
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ConfigError(f"{what} must be a number, got {value!r}")
-    if not math.isfinite(value):
-        raise ConfigError(f"{what} must be finite, got {value!r}")
-    return float(value)
 
 
 class NoFaults:
@@ -127,7 +102,7 @@ class BernoulliLoss:
     """Independent loss: each transmission is lost with probability ``p``."""
 
     def __init__(self, p: float):
-        self.p = _require_probability(p, "loss probability")
+        self.p = check_probability(p, "loss probability")
 
     def transmit(
         self, sender: int, target: int, delay: float, rng: random.Random
@@ -174,10 +149,10 @@ class GilbertElliott:
         loss_good: float = 0.0,
         loss_bad: float = 1.0,
     ):
-        self.p_good_bad = _require_probability(p_good_bad, "p_good_bad")
-        self.p_bad_good = _require_probability(p_bad_good, "p_bad_good")
-        self.loss_good = _require_probability(loss_good, "loss_good")
-        self.loss_bad = _require_probability(loss_bad, "loss_bad")
+        self.p_good_bad = check_probability(p_good_bad, "p_good_bad")
+        self.p_bad_good = check_probability(p_bad_good, "p_bad_good")
+        self.loss_good = check_probability(loss_good, "loss_good")
+        self.loss_bad = check_probability(loss_bad, "loss_bad")
         if self.p_good_bad + self.p_bad_good <= 0.0:
             raise ConfigError(
                 "Gilbert-Elliott chain needs p_good_bad + p_bad_good > 0 "
@@ -228,7 +203,7 @@ class DuplicateModel:
     """
 
     def __init__(self, p: float, max_copies: int = 2):
-        self.p = _require_probability(p, "duplication probability")
+        self.p = check_probability(p, "duplication probability")
         if isinstance(max_copies, bool) or not isinstance(max_copies, int):
             raise ConfigError(
                 f"max_copies must be an integer, got {max_copies!r}"
@@ -263,20 +238,20 @@ class DelaySpike:
         factor: float | None = None,
         extra: float | None = None,
     ):
-        self.p = _require_probability(p, "delay-spike probability")
+        self.p = check_probability(p, "delay-spike probability")
         if (factor is None) == (extra is None):
             raise ConfigError(
                 "DelaySpike needs exactly one of 'factor' or 'extra', "
                 f"got factor={factor!r}, extra={extra!r}"
             )
         if factor is not None:
-            factor = _require_finite(factor, "delay-spike factor")
+            factor = check_finite(factor, "delay-spike factor")
             if factor < 1.0:
                 raise ConfigError(
                     f"delay-spike factor must be >= 1, got {factor}"
                 )
         if extra is not None:
-            extra = _require_finite(extra, "delay-spike extra")
+            extra = check_finite(extra, "delay-spike extra")
             if extra < 0.0:
                 raise ConfigError(
                     f"delay-spike extra must be >= 0, got {extra}"

@@ -8,11 +8,11 @@ dynamic-protocol experiments where timeouts and staleness matter.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Callable, Mapping, Protocol
 
 from repro.errors import ConfigError
+from repro.validation import check_finite
 
 
 class LatencyModel(Protocol):
@@ -23,25 +23,11 @@ class LatencyModel(Protocol):
         ...  # pragma: no cover - protocol
 
 
-def _require_finite(value: float, what: str) -> None:
-    """Latency parameters must be finite numbers.
-
-    A NaN slips through every ordered comparison (``nan < 0`` is False),
-    so an unguarded constructor would accept it and then schedule
-    deliveries at NaN timestamps, silently corrupting the engine's
-    time-ordered queue; an infinite delay parks messages forever.
-    """
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ConfigError(f"{what} must be a number, got {value!r}")
-    if not math.isfinite(value):
-        raise ConfigError(f"{what} must be finite, got {value!r}")
-
-
 class ConstantLatency:
     """Every message takes exactly ``delay`` time units."""
 
     def __init__(self, delay: float):
-        _require_finite(delay, "latency")
+        check_finite(delay, "latency")
         if delay < 0:
             raise ConfigError(f"latency must be >= 0, got {delay}")
         self.delay = delay
@@ -57,8 +43,8 @@ class UniformLatency:
     """Delay drawn uniformly from ``[low, high]``."""
 
     def __init__(self, low: float, high: float):
-        _require_finite(low, "latency low")
-        _require_finite(high, "latency high")
+        check_finite(low, "latency low")
+        check_finite(high, "latency high")
         if low < 0 or high < low:
             raise ConfigError(f"need 0 <= low <= high, got [{low}, {high}]")
         self.low = low
@@ -80,7 +66,7 @@ class ExponentialLatency:
     """
 
     def __init__(self, mean: float):
-        _require_finite(mean, "mean latency")
+        check_finite(mean, "mean latency")
         if mean <= 0:
             raise ConfigError(f"mean latency must be > 0, got {mean}")
         self.mean = mean

@@ -522,6 +522,7 @@ class Network:
         # fan-out lands in the engine's FIFO bucket).
         scheduled = 0
         deliver_batch = self._deliver_batch
+        # repro-lint: allow[DET003]: batches is keyed by latency class in first-occurrence order; sorting would reorder same-time deliveries and break bit-identity
         for delay, batch in batches.items():
             scheduled += len(batch)
             engine.schedule_apply(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Protocol
 
 from repro.errors import ConfigError
+from repro.validation import check_finite
 
 
 class PartitionModel(Protocol):
@@ -54,6 +55,8 @@ class StaticPartition:
                 if pid in self._island_of:
                     raise ConfigError(f"process {pid} appears in two islands")
                 self._island_of[pid] = index
+        if heals_at is not None:
+            check_finite(heals_at, "heals_at")
         self.heals_at = heals_at
 
     def connected(self, source: int, destination: int, now: float) -> bool:

@@ -36,6 +36,7 @@ from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.errors import SchedulingError, SimulationError
+from repro.validation import check_positive
 
 
 class EventHandle:
@@ -61,6 +62,8 @@ class EventHandle:
         count: int = 1,
         args: tuple | None = None,
     ):
+        if time != time:  # NaN passes `time < now` and corrupts the heap
+            raise SchedulingError("event time must not be NaN")
         self.time = time
         self._seq = seq
         self._count = count
@@ -120,8 +123,7 @@ class PeriodicTask:
         initial_delay: float | None = None,
         max_firings: int | None = None,
     ):
-        if interval <= 0:
-            raise SchedulingError(f"interval must be > 0, got {interval}")
+        check_positive(interval, "interval", error=SchedulingError)
         self._engine = engine
         self._interval = interval
         self._callback = callback

@@ -19,6 +19,7 @@ from typing import Callable
 
 from repro.errors import ConfigError
 from repro.sim.engine import Engine, PeriodicTask
+from repro.validation import check_positive
 
 RoundCallback = Callable[[int], None]
 
@@ -33,8 +34,7 @@ class RoundScheduler:
         round_length: float = 1.0,
         max_rounds: int | None = None,
     ):
-        if round_length <= 0:
-            raise ConfigError(f"round_length must be > 0, got {round_length}")
+        check_positive(round_length, "round_length")
         if max_rounds is not None and max_rounds < 1:
             raise ConfigError(f"max_rounds must be >= 1, got {max_rounds}")
         self._engine = engine

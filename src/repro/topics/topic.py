@@ -48,6 +48,7 @@ class Topic:
                 )
         self._segments = checked
         self._name = "." + ".".join(checked) if checked else "."
+        # repro-lint: allow[DET003]: cached tuple hash for dict/set keying only; it never crosses a process or digest boundary
         self._hash = hash(checked)
 
     # ------------------------------------------------------------------

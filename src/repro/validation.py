@@ -1,0 +1,102 @@
+"""Shared numeric-parameter validators (the NaN/inf hardening convention).
+
+Every float parameter that reaches the simulator must be rejected *at
+construction time* when it is NaN or infinite: a NaN slips through every
+ordered comparison (``nan < 0`` is False), so naive range checks accept it
+and the corruption surfaces much later — as an unsorted engine heap, a
+meaningless binary-searched timeline, or a randomized fault stream. The
+checks below were originally copy-pasted across nine modules; they live
+here once so the determinism lint (``repro lint``, rule DET005) can
+recognize a validated parameter structurally.
+
+All helpers raise ``error`` (default :class:`~repro.errors.ConfigError`)
+with the exact message style the call sites always used, and return
+``float(value)`` for callers that want the conversion — callers that
+historically stored the raw value keep doing so and simply ignore the
+return value.
+"""
+
+from __future__ import annotations
+
+from math import isfinite, isnan
+from typing import Iterable, Type
+
+from repro.errors import ConfigError
+
+
+def check_number(value, what: str, *, error: Type[Exception] = ConfigError) -> float:
+    """``value`` must be an ``int`` or ``float`` (``bool`` excluded)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise error(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+def check_finite(value, what: str, *, error: Type[Exception] = ConfigError) -> float:
+    """``value`` must be a finite number (rejects NaN and ±inf)."""
+    check_number(value, what, error=error)
+    if not isfinite(value):
+        raise error(f"{what} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(
+    value, what: str, *, error: Type[Exception] = ConfigError
+) -> float:
+    """``value`` must be finite and ``>= 0``."""
+    check_finite(value, what, error=error)
+    if value < 0:
+        raise error(f"{what} must be >= 0, got {value}")
+    return float(value)
+
+
+def check_positive(value, what: str, *, error: Type[Exception] = ConfigError) -> float:
+    """``value`` must be finite and ``> 0``."""
+    check_finite(value, what, error=error)
+    if value <= 0:
+        raise error(f"{what} must be > 0, got {value}")
+    return float(value)
+
+
+def check_probability(
+    value, what: str, *, error: Type[Exception] = ConfigError
+) -> float:
+    """``value`` must be a finite number in ``[0, 1]``."""
+    check_finite(value, what, error=error)
+    if not 0.0 <= value <= 1.0:
+        raise error(f"{what} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_window(
+    value, what: str = "window", *, error: Type[Exception] = ConfigError
+) -> float:
+    """``value`` must be a finite number ``> 0`` (one combined message).
+
+    The sliding-window metrics raise :class:`~repro.errors.MetricsError`
+    here via ``error=``; the single-message style is historical and kept
+    bit-identical.
+    """
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not isfinite(value)
+        or value <= 0
+    ):
+        raise error(f"{what} must be a finite number > 0, got {value!r}")
+    return float(value)
+
+
+def check_finite_grid(
+    grid: Iterable[float], *, error: Type[Exception] = ConfigError
+) -> None:
+    """Every sweep-grid point must be finite (NaN reported by name).
+
+    Keeps the experiment runner's historical two-message style: NaN and
+    ±inf corrupt a sweep differently (NaN also poisons seed-name
+    formatting), so they are reported distinctly.
+    """
+    for point in grid:
+        if isnan(point):
+            raise error("grid contains NaN")
+        if not isfinite(point):
+            raise error(f"grid contains non-finite point {point!r}")

@@ -15,6 +15,7 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigError
 from repro.topics.topic import Topic
+from repro.validation import check_non_negative, check_positive
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,10 +28,7 @@ class ScheduledPublication:
 
 def single_shot(topic: Topic, at: float = 0.0) -> list[ScheduledPublication]:
     """The §VII workload: exactly one event."""
-    if not math.isfinite(at):
-        raise ConfigError(f"at must be finite, got {at!r}")
-    if at < 0:
-        raise ConfigError(f"at must be >= 0, got {at}")
+    check_non_negative(at, "at")
     return [ScheduledPublication(at, topic)]
 
 
@@ -49,14 +47,8 @@ def burst_schedule(
     """
     if count < 1:
         raise ConfigError(f"count must be >= 1, got {count}")
-    if not math.isfinite(spacing):
-        raise ConfigError(f"spacing must be finite, got {spacing!r}")
-    if spacing < 0:
-        raise ConfigError(f"spacing must be >= 0, got {spacing}")
-    if not math.isfinite(start):
-        raise ConfigError(f"start must be finite, got {start!r}")
-    if start < 0:
-        raise ConfigError(f"start must be >= 0, got {start}")
+    check_non_negative(spacing, "spacing")
+    check_non_negative(start, "start")
     return [
         ScheduledPublication(start + index * spacing, topic)
         for index in range(count)
@@ -117,14 +109,8 @@ class PoissonSchedule:
         # A NaN rate/horizon passes naive `<= 0` checks and then loops
         # forever (expovariate(nan) never crosses the horizon); an infinite
         # rate yields zero-length intervals and an unbounded schedule.
-        if not math.isfinite(rate):
-            raise ConfigError(f"rate must be finite, got {rate!r}")
-        if rate <= 0:
-            raise ConfigError(f"rate must be > 0, got {rate}")
-        if not math.isfinite(horizon):
-            raise ConfigError(f"horizon must be finite, got {horizon!r}")
-        if horizon <= 0:
-            raise ConfigError(f"horizon must be > 0, got {horizon}")
+        check_positive(rate, "rate")
+        check_positive(horizon, "horizon")
         if weights is not None:
             if len(weights) != len(topics):
                 raise ConfigError("weights must match topics")

@@ -127,6 +127,7 @@ from repro.net.partitions import StaticPartition
 from repro.net.stats import DROP_REASONS, FAULT_REASONS
 from repro.sim.rng import derive_seed
 from repro.topics.builders import balanced_tree, chain, from_names
+from repro.validation import check_finite, check_number
 from repro.topics.hierarchy import TopicHierarchy
 from repro.topics.topic import Topic
 from repro.workloads.publications import (
@@ -247,12 +248,10 @@ def _get_number(
         if default is _MISSING:
             raise ConfigError(f"{where}: missing required key {key!r}")
         return default
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ConfigError(f"{where}: {key} must be a number, got {value!r}")
+    check_number(value, f"{where}: {key}")
     if integer and not isinstance(value, int):
         raise ConfigError(f"{where}: {key} must be an integer, got {value!r}")
-    if not math.isfinite(value):
-        raise ConfigError(f"{where}: {key} must be finite, got {value!r}")
+    check_finite(value, f"{where}: {key}")
     if minimum is not None and value < minimum:
         raise ConfigError(f"{where}: {key} must be >= {minimum}, got {value}")
     if maximum is not None and value > maximum:
@@ -368,6 +367,7 @@ def _validate_subscriptions(
         counts = section.get("counts")
         _require_mapping(counts, "subscriptions.counts")
         total = 0
+        # repro-lint: allow[DET003]: the integer total is order-independent and counts preserves the spec's declared topic order
         for name, count in counts.items():
             topic = _parse_topic(name, "subscriptions.counts")
             if topic not in hierarchy:
@@ -1029,6 +1029,7 @@ class CompiledSpec:
                 horizon=section["horizon"],
                 weights=section.get("weights"),
             )
+            # repro-lint: allow[DET004]: stream is 'spec/publications' or its '/{index}' extension built by the mixed-parts recursion below
             return schedule.generate(random.Random(derive_seed(seed, stream)))
         # mixed: realize every part on its own stream, merge time-sorted
         merged: list[ScheduledPublication] = []
@@ -1870,8 +1871,10 @@ def sweep_scenario(
     for index, value in enumerate(values):
         means, stds = aggregate_runs(samples[index * runs : (index + 1) * runs])
         result.points.append(value)
+        # repro-lint: allow[DET003]: aggregate_runs returns dicts with sorted keys
         for key, mean in means.items():
             result.means.setdefault(key, []).append(mean)
+        # repro-lint: allow[DET003]: aggregate_runs returns dicts with sorted keys
         for key, std in stds.items():
             result.stds.setdefault(key, []).append(std)
     return result

@@ -15,6 +15,7 @@ from typing import Mapping, Sequence
 from repro.errors import ConfigError
 from repro.topics.hierarchy import TopicHierarchy
 from repro.topics.topic import Topic
+from repro.validation import check_non_negative
 
 
 def per_level_counts(
@@ -74,8 +75,7 @@ def zipf_subscriptions(
     """
     if n_processes < 0:
         raise ConfigError(f"n_processes must be >= 0, got {n_processes}")
-    if exponent < 0:
-        raise ConfigError(f"exponent must be >= 0, got {exponent}")
+    check_non_negative(exponent, "exponent")
     topics = [
         t for t in hierarchy.topics if include_root or not t.is_root
     ]
