@@ -16,14 +16,14 @@ SCENARIO = PaperScenario(sizes=(8, 40, 200))  # scaled for sweep speed
 RUNS = 6
 
 
-def test_ablation_link_redundancy(benchmark, emit, sweep_jobs):
+def test_ablation_link_redundancy(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: sweep_link_redundancy(
             g_values=(1, 2, 5, 10, 20),
             scenario=SCENARIO,
             alive_fraction=0.6,
             runs=RUNS,
-            jobs=sweep_jobs,
+            executor=sweep_executor,
         ),
         rounds=1,
         iterations=1,
@@ -41,14 +41,14 @@ def test_ablation_link_redundancy(benchmark, emit, sweep_jobs):
     assert rows[-1]["analytic_root"] >= rows[0]["analytic_root"]
 
 
-def test_ablation_fanout_constant(benchmark, emit, sweep_jobs):
+def test_ablation_fanout_constant(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: sweep_fanout_constant(
             c_values=(0, 1, 2, 3, 5, 8),
             scenario=SCENARIO,
             alive_fraction=1.0,
             runs=RUNS,
-            jobs=sweep_jobs,
+            executor=sweep_executor,
         ),
         rounds=1,
         iterations=1,

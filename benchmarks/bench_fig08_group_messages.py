@@ -15,10 +15,10 @@ SCENARIO = PaperScenario()  # the §VII setting, log10 fan-out
 RUNS = 5
 
 
-def test_figure8(benchmark, emit, sweep_jobs):
+def test_figure8(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: run_figure8(
-            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, jobs=sweep_jobs
+            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, executor=sweep_executor
         ),
         rounds=1,
         iterations=1,

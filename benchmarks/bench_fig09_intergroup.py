@@ -14,10 +14,10 @@ SCENARIO = PaperScenario()
 RUNS = 5
 
 
-def test_figure9(benchmark, emit, sweep_jobs):
+def test_figure9(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: run_figure9(
-            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, jobs=sweep_jobs
+            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, executor=sweep_executor
         ),
         rounds=1,
         iterations=1,

@@ -13,10 +13,10 @@ SCENARIO = PaperScenario()
 RUNS = 5
 
 
-def test_figure11(benchmark, emit, sweep_jobs):
+def test_figure11(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: run_figure11(
-            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, jobs=sweep_jobs
+            grid=DEFAULT_GRID, runs=RUNS, scenario=SCENARIO, executor=sweep_executor
         ),
         rounds=1,
         iterations=1,

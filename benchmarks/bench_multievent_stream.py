@@ -13,7 +13,7 @@ from repro.workloads import PaperScenario
 SCENARIO = PaperScenario(sizes=(5, 25, 120), p_succ=0.9)
 
 
-def test_multievent_stream_cost_flat(benchmark, emit, sweep_jobs):
+def test_multievent_stream_cost_flat(benchmark, emit, sweep_executor):
     # Single publication level: per-event cost must be flat in the rate.
     table = benchmark.pedantic(
         lambda: stream_table(
@@ -21,7 +21,7 @@ def test_multievent_stream_cost_flat(benchmark, emit, sweep_jobs):
             runs=3,
             scenario=SCENARIO,
             publish_levels=(2,),
-            jobs=sweep_jobs,
+            executor=sweep_executor,
         ),
         rounds=1,
         iterations=1,
@@ -37,7 +37,7 @@ def test_multievent_stream_cost_flat(benchmark, emit, sweep_jobs):
         assert row["parasites"] == 0.0
 
 
-def test_multievent_mixed_topics_no_parasites(benchmark, emit, sweep_jobs):
+def test_multievent_mixed_topics_no_parasites(benchmark, emit, sweep_executor):
     # Mixed levels: costs differ per topic, but parasites stay zero and
     # delivery stays high for every event in the stream.
     table = benchmark.pedantic(
@@ -46,7 +46,7 @@ def test_multievent_mixed_topics_no_parasites(benchmark, emit, sweep_jobs):
             runs=3,
             scenario=SCENARIO,
             publish_levels=(1, 2),
-            jobs=sweep_jobs,
+            executor=sweep_executor,
         ),
         rounds=1,
         iterations=1,

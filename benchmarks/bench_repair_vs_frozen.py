@@ -14,10 +14,10 @@ from repro.workloads import PaperScenario
 SCENARIO = PaperScenario(sizes=(4, 12, 48), p_succ=0.9)
 
 
-def test_repair_recovers_reliability(benchmark, emit, sweep_jobs):
+def test_repair_recovers_reliability(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: repair_comparison(
-            alive_fraction=0.4, runs=4, scenario=SCENARIO, jobs=sweep_jobs
+            alive_fraction=0.4, runs=4, scenario=SCENARIO, executor=sweep_executor
         ),
         rounds=1,
         iterations=1,

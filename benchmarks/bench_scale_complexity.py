@@ -8,10 +8,10 @@ check the measured growth laws.
 from repro.experiments.scale import sweep_depth, sweep_group_size
 
 
-def test_scale_group_size(benchmark, emit, sweep_jobs):
+def test_scale_group_size(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
         lambda: sweep_group_size(
-            s_values=(50, 100, 200, 400, 800), runs=3, jobs=sweep_jobs
+            s_values=(50, 100, 200, 400, 800), runs=3, executor=sweep_executor
         ),
         rounds=1,
         iterations=1,
@@ -29,9 +29,9 @@ def test_scale_group_size(benchmark, emit, sweep_jobs):
     assert rows[-1]["bottom_messages"] >= 0.9 * rows[-1]["event_messages"]
 
 
-def test_scale_depth(benchmark, emit, sweep_jobs):
+def test_scale_depth(benchmark, emit, sweep_executor):
     table = benchmark.pedantic(
-        lambda: sweep_depth(t_values=(1, 2, 3, 4, 5), runs=3, jobs=sweep_jobs),
+        lambda: sweep_depth(t_values=(1, 2, 3, 4, 5), runs=3, executor=sweep_executor),
         rounds=1,
         iterations=1,
     )

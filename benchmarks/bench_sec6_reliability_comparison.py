@@ -61,14 +61,14 @@ def analytic_all_received(level_sizes: list[int]) -> float:
     return result
 
 
-def test_reliability_comparison(benchmark, emit, sweep_jobs):
+def test_reliability_comparison(benchmark, emit, sweep_executor):
     sweep = benchmark.pedantic(
         lambda: run_sweep(
             measure_all_received,
             [1.0],
             runs=RUNS,
             label="sec6-rel",
-            jobs=sweep_jobs,
+            executor=sweep_executor,
         ),
         rounds=1,
         iterations=1,

@@ -32,6 +32,17 @@ def sweep_jobs() -> int:
 
 
 @pytest.fixture(scope="session")
+def sweep_executor(sweep_jobs) -> str:
+    """Executor spec for sweep-based benches: a pool of ``sweep_jobs``.
+
+    A spec string (``"pool:N"``, or ``"serial"`` for one worker) rather
+    than an Executor instance, so every bench resolves a fresh executor
+    and none shares pool state across benches.
+    """
+    return "serial" if sweep_jobs == 1 else f"pool:{sweep_jobs}"
+
+
+@pytest.fixture(scope="session")
 def report_dir() -> pathlib.Path:
     """Directory where rendered tables are persisted."""
     OUT_DIR.mkdir(exist_ok=True)

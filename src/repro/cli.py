@@ -11,7 +11,7 @@ Usage (installed as ``damulticast``, or ``python -m repro``)::
     damulticast ablate-g / ablate-c # tuning-knob sweeps
 
     damulticast scenario list                        # bundled presets
-    damulticast scenario run paper-vii --jobs 2      # run a preset
+    damulticast scenario run paper-vii --executor pool:2    # run a preset
     damulticast scenario run SPEC.json --runs 5      # run a spec file
     damulticast scenario run churn-recover --out RUN.json   # dynamic preset
     damulticast scenario sweep SPEC.json \\
@@ -33,8 +33,12 @@ aligned ASCII table. Scenario specs are declarative JSON documents (see
 ``repro.workloads.spec``) covering both static-mode (§VII simulator) and
 dynamic-mode (full protocol: bootstrap, maintenance, failure campaigns,
 latency models) runs; ``scenario`` output is bit-identical for any
-``--jobs`` value. ``scenario run/sweep --out`` saves a JSON payload that
-``scenario render`` turns into figure-style tables, CSV or JSON.
+execution backend (``--executor serial | pool:N | warm:N``; ``--jobs N``
+stays as an alias for ``pool:N``). ``scenario run/sweep --out`` saves a
+JSON payload (written atomically) that ``scenario render`` turns into
+figure-style tables, CSV or JSON, and ``--cache DIR`` keeps a
+content-addressed per-cell result store: a re-run of a finished sweep
+executes zero cells, an interrupted sweep resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -63,6 +67,12 @@ from repro.experiments.figures import (
     run_figure10,
     run_figure11,
 )
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    CachingExecutor,
+    write_json_atomic,
+)
+from repro.experiments.executor import Executor, resolve_executor
 from repro.experiments.runner import aggregate_runs
 from repro.metrics.report import (
     SCENARIO_RUN_SCHEMA,
@@ -75,43 +85,74 @@ from repro.workloads.spec import (
     load_spec,
     metrics_digest,
     run_scenario,
+    spec_digest,
     spec_with,
     sweep_scenario,
 )
 
 
-def _add_sweep_exec_args(
-    parser: argparse.ArgumentParser, top_level: bool = False
-) -> None:
-    """Define `--jobs`/`--progress` on one parser.
+def _make_exec_parent(top_level: bool = False) -> argparse.ArgumentParser:
+    """The shared `--executor`/`--jobs`/`--progress` option group.
 
-    The top-level parser holds the real defaults; subcommand parsers use
-    SUPPRESS so their flags override the top-level ones instead of
-    resetting them — both `repro --jobs 4 fig10` and `repro fig10
-    --jobs 4` work, with the subcommand position winning.
+    Registered once and attached to every sweeping subcommand via
+    ``parents=`` (no per-subcommand re-wiring). The top-level parser
+    holds the real defaults; the subcommand parent uses SUPPRESS so a
+    subcommand-position flag overrides the top-level one instead of
+    resetting it — both `repro --executor pool:4 fig10` and `repro fig10
+    --executor pool:4` work, with the subcommand position winning.
     """
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1 if top_level else argparse.SUPPRESS,
+
+    def default(value):
+        return value if top_level else argparse.SUPPRESS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--executor",
+        default=default(None),
+        metavar="SPEC",
         help=(
-            "worker processes for sweep execution (default 1 = serial; "
-            "results are bit-identical for any value)"
+            "execution backend: 'serial' (default), 'pool[:N]' (fresh "
+            "worker pool), 'warm[:N]' (persistent workers); results are "
+            "bit-identical for every backend and worker count"
         ),
     )
-    parser.add_argument(
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=default(None),
+        help="alias for --executor pool:N (N=1 means serial)",
+    )
+    group.add_argument(
         "--progress",
         action="store_true",
-        default=False if top_level else argparse.SUPPRESS,
+        default=default(False),
         help="print per-point sweep progress to stderr",
     )
+    return parent
+
+
+def _executor_spec_from(args: argparse.Namespace) -> str | None:
+    """Combine `--executor` and its `--jobs` alias into one spec string."""
+    executor = getattr(args, "executor", None)
+    jobs = getattr(args, "jobs", None)
+    if executor is not None and jobs is not None:
+        raise ConfigError("pass --executor SPEC or --jobs N, not both")
+    if jobs is not None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        return "serial" if jobs == 1 else f"pool:{jobs}"
+    return executor
+
+
+def _resolved_executor(args: argparse.Namespace) -> Executor:
+    return resolve_executor(_executor_spec_from(args))
 
 
 def _add_common_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--runs", type=int, default=5, help="repetitions per grid point"
     )
-    _add_sweep_exec_args(parser)
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed for the sweep"
     )
@@ -142,9 +183,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Data-Aware Multicast' (DSN 2004): regenerate "
             "the paper's figures and tables."
         ),
+        parents=[_make_exec_parent(top_level=True)],
     )
-    _add_sweep_exec_args(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
+    exec_parent = _make_exec_parent()
 
     for name, help_text in [
         ("fig8", "events sent within each group vs alive fraction"),
@@ -152,14 +194,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ("fig10", "reliability under stillborn failures"),
         ("fig11", "reliability under dynamic failures"),
     ]:
-        figure = sub.add_parser(name, help=help_text)
+        figure = sub.add_parser(name, help=help_text, parents=[exec_parent])
         _add_common_experiment_args(figure)
 
     compare = sub.add_parser(
-        "compare", help="measured §VI-E comparison of all four algorithms"
+        "compare",
+        help="measured §VI-E comparison of all four algorithms",
+        parents=[exec_parent],
     )
     compare.add_argument("--runs", type=int, default=3)
-    _add_sweep_exec_args(compare)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument(
         "--sizes", type=int, nargs="+", default=[10, 100, 1000]
@@ -185,49 +228,54 @@ def _build_parser() -> argparse.ArgumentParser:
     tuning.add_argument("--clusters", type=int, default=10)
 
     ablate_g = sub.add_parser(
-        "ablate-g", help="reliability/messages vs link redundancy g"
+        "ablate-g",
+        help="reliability/messages vs link redundancy g",
+        parents=[exec_parent],
     )
     ablate_g.add_argument("--runs", type=int, default=5)
-    _add_sweep_exec_args(ablate_g)
     ablate_g.add_argument("--alive", type=float, default=0.7)
     ablate_g.add_argument(
         "--values", type=float, nargs="+", default=[1, 2, 5, 10, 20]
     )
 
     ablate_c = sub.add_parser(
-        "ablate-c", help="reliability/messages vs gossip constant c"
+        "ablate-c",
+        help="reliability/messages vs gossip constant c",
+        parents=[exec_parent],
     )
     ablate_c.add_argument("--runs", type=int, default=5)
-    _add_sweep_exec_args(ablate_c)
     ablate_c.add_argument("--alive", type=float, default=1.0)
     ablate_c.add_argument(
         "--values", type=float, nargs="+", default=[0, 1, 2, 3, 5, 8]
     )
 
     scale_s = sub.add_parser(
-        "scale-s", help="message growth vs bottom group size (O(S log S))"
+        "scale-s",
+        help="message growth vs bottom group size (O(S log S))",
+        parents=[exec_parent],
     )
     scale_s.add_argument("--runs", type=int, default=3)
-    _add_sweep_exec_args(scale_s)
     scale_s.add_argument(
         "--values", type=int, nargs="+", default=[50, 100, 200, 400, 800]
     )
 
     scale_t = sub.add_parser(
-        "scale-t", help="message growth vs hierarchy depth (linear in t)"
+        "scale-t",
+        help="message growth vs hierarchy depth (linear in t)",
+        parents=[exec_parent],
     )
     scale_t.add_argument("--runs", type=int, default=3)
-    _add_sweep_exec_args(scale_t)
     scale_t.add_argument(
         "--values", type=int, nargs="+", default=[1, 2, 3, 4, 5]
     )
     scale_t.add_argument("--level-size", type=int, default=100)
 
     stream = sub.add_parser(
-        "stream", help="steady-state Poisson stream: cost/delivery/parasites"
+        "stream",
+        help="steady-state Poisson stream: cost/delivery/parasites",
+        parents=[exec_parent],
     )
     stream.add_argument("--runs", type=int, default=3)
-    _add_sweep_exec_args(stream)
     stream.add_argument(
         "--rates", type=float, nargs="+", default=[0.05, 0.2, 0.5]
     )
@@ -241,7 +289,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     scenario_run = scenario_sub.add_parser(
-        "run", help="run one spec (JSON file path or bundled preset name)"
+        "run",
+        help="run one spec (JSON file path or bundled preset name)",
+        parents=[exec_parent],
     )
     scenario_run.add_argument(
         "spec", help="path to a SPEC.json, or a bundled preset name"
@@ -252,7 +302,16 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--seed", type=int, default=0, help="master seed for the repetitions"
     )
-    _add_sweep_exec_args(scenario_run)
+    scenario_run.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed per-cell result store: finished cells are "
+            "loaded instead of recomputed, results are persisted per cell "
+            "(atomically) so interrupted runs resume"
+        ),
+    )
     scenario_run.add_argument(
         "--set",
         dest="overrides",
@@ -276,7 +335,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     scenario_sweep = scenario_sub.add_parser(
-        "sweep", help="sweep one spec field over a list of values"
+        "sweep",
+        help="sweep one spec field over a list of values",
+        parents=[exec_parent],
     )
     scenario_sweep.add_argument(
         "spec", help="path to a SPEC.json, or a bundled preset name"
@@ -294,7 +355,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario_sweep.add_argument("--runs", type=int, default=3)
     scenario_sweep.add_argument("--seed", type=int, default=0)
-    _add_sweep_exec_args(scenario_sweep)
+    scenario_sweep.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="per-cell result store (see 'scenario run --cache')",
+    )
     scenario_sweep.add_argument(
         "--set",
         dest="overrides",
@@ -395,7 +461,7 @@ def _progress_printer(args: argparse.Namespace):
     return report
 
 
-def _run_figure_command(args: argparse.Namespace) -> Table:
+def _run_figure_command(args: argparse.Namespace, executor: Executor) -> Table:
     runner = {
         "fig8": run_figure8,
         "fig9": run_figure9,
@@ -407,7 +473,7 @@ def _run_figure_command(args: argparse.Namespace) -> Table:
         runs=args.runs,
         master_seed=args.seed,
         scenario=_scenario_from(args),
-        jobs=args.jobs,
+        executor=executor,
         progress=_progress_printer(args),
     )
 
@@ -431,9 +497,9 @@ def _apply_overrides(spec: Mapping, pairs: Sequence[str]) -> Mapping:
 
 
 def _write_payload(path: str, payload: Mapping) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=str)
-        handle.write("\n")
+    # Atomic (temp file + os.replace): a crash mid-write can truncate a
+    # stray temp file but never the payload a later render would read.
+    write_json_atomic(path, payload, indent=2)
     print(f"wrote {path}", file=sys.stderr)
 
 
@@ -468,7 +534,26 @@ def _render_scenario_payload(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_scenario_command(args: argparse.Namespace) -> int:
+def _caching(
+    executor: Executor, cache: str | None, run_key_payload: Mapping
+) -> Executor:
+    """Wrap ``executor`` with the artifact store when ``--cache`` is set."""
+    if cache is None:
+        return executor
+    return CachingExecutor(
+        executor, ArtifactStore(cache), spec_digest(run_key_payload)
+    )
+
+
+def _report_cache(executor: Executor) -> None:
+    if isinstance(executor, CachingExecutor):
+        print(
+            f"cache: {executor.hits} hit(s), {executor.executed} executed",
+            file=sys.stderr,
+        )
+
+
+def _run_scenario_command(args: argparse.Namespace, executor: Executor) -> int:
     if args.scenario_command == "render":
         return _render_scenario_payload(args)
     if args.scenario_command == "list":
@@ -494,13 +579,17 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     spec = _apply_overrides(load_spec(args.spec), args.overrides)
     progress = _progress_printer(args)
     if args.scenario_command == "run":
+        executor = _caching(
+            executor, args.cache, {"kind": "scenario-run", "spec": spec}
+        )
         samples = run_scenario(
             spec,
             runs=args.runs,
             master_seed=args.seed,
-            jobs=args.jobs,
+            executor=executor,
             progress=progress,
         )
+        _report_cache(executor)
         means, stds = aggregate_runs(samples)
         table = Table(
             f"scenario {spec.get('name', args.spec)} — metrics over "
@@ -532,15 +621,21 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
 
     # sweep
     values = [_parse_cli_value(value) for value in args.values]
+    executor = _caching(
+        executor,
+        args.cache,
+        {"kind": "scenario-sweep", "spec": spec, "field": args.field},
+    )
     result = sweep_scenario(
         spec,
         args.field,
         values,
         runs=args.runs,
         master_seed=args.seed,
-        jobs=args.jobs,
+        executor=executor,
         progress=progress,
     )
+    _report_cache(executor)
     metric_names = result.metric_names()
     table = Table(
         f"scenario sweep over {args.field} "
@@ -606,87 +701,120 @@ def _run_lint_command(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: Subcommands that evaluate sweeps and therefore honour the shared
+#: execution option group.
+_SWEEPING_COMMANDS = frozenset(
+    {
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "compare",
+        "ablate-g",
+        "ablate-c",
+        "scale-s",
+        "scale-t",
+        "stream",
+    }
+)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint_command(args)
     if args.command == "scenario":
+        executor = None
         try:
-            return _run_scenario_command(args)
+            if args.scenario_command in ("run", "sweep"):
+                executor = _resolved_executor(args)
+            return _run_scenario_command(args, executor)
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.command in ("fig8", "fig9", "fig10", "fig11"):
-        print(_run_figure_command(args).render())
-    elif args.command == "compare":
-        table = measured_comparison(
-            scenario=PaperScenario(sizes=tuple(args.sizes)),
-            runs=args.runs,
-            master_seed=args.seed,
-            jobs=args.jobs,
-            progress=_progress_printer(args),
-        )
-        print(table.render())
-    elif args.command == "analysis":
-        scenario = ChainScenario(sizes=tuple(args.sizes), p_succ=args.p_succ)
-        for table in comparison_table(scenario).values():
+        finally:
+            if executor is not None:
+                executor.close()
+    executor = None
+    try:
+        if args.command in _SWEEPING_COMMANDS:
+            executor = _resolved_executor(args)
+        if args.command in ("fig8", "fig9", "fig10", "fig11"):
+            print(_run_figure_command(args, executor).render())
+        elif args.command == "compare":
+            table = measured_comparison(
+                scenario=PaperScenario(sizes=tuple(args.sizes)),
+                runs=args.runs,
+                master_seed=args.seed,
+                executor=executor,
+                progress=_progress_printer(args),
+            )
             print(table.render())
-            print()
-    elif args.command == "tuning":
-        print(_run_tuning_command(args).render())
-    elif args.command == "ablate-g":
-        table = sweep_link_redundancy(
-            g_values=tuple(args.values),
-            alive_fraction=args.alive,
-            runs=args.runs,
-            jobs=args.jobs,
-            progress=_progress_printer(args),
-        )
-        print(table.render())
-    elif args.command == "ablate-c":
-        table = sweep_fanout_constant(
-            c_values=tuple(args.values),
-            alive_fraction=args.alive,
-            runs=args.runs,
-            jobs=args.jobs,
-            progress=_progress_printer(args),
-        )
-        print(table.render())
-    elif args.command == "scale-s":
-        from repro.experiments.scale import sweep_group_size
-
-        print(
-            sweep_group_size(
-                s_values=tuple(args.values),
+        elif args.command == "analysis":
+            scenario = ChainScenario(
+                sizes=tuple(args.sizes), p_succ=args.p_succ
+            )
+            for table in comparison_table(scenario).values():
+                print(table.render())
+                print()
+        elif args.command == "tuning":
+            print(_run_tuning_command(args).render())
+        elif args.command == "ablate-g":
+            table = sweep_link_redundancy(
+                g_values=tuple(args.values),
+                alive_fraction=args.alive,
                 runs=args.runs,
-                jobs=args.jobs,
+                executor=executor,
                 progress=_progress_printer(args),
-            ).render()
-        )
-    elif args.command == "scale-t":
-        from repro.experiments.scale import sweep_depth
-
-        print(
-            sweep_depth(
-                t_values=tuple(args.values),
-                level_size=args.level_size,
+            )
+            print(table.render())
+        elif args.command == "ablate-c":
+            table = sweep_fanout_constant(
+                c_values=tuple(args.values),
+                alive_fraction=args.alive,
                 runs=args.runs,
-                jobs=args.jobs,
+                executor=executor,
                 progress=_progress_printer(args),
-            ).render()
-        )
-    elif args.command == "stream":
-        from repro.experiments.multievent import stream_table
+            )
+            print(table.render())
+        elif args.command == "scale-s":
+            from repro.experiments.scale import sweep_group_size
 
-        print(
-            stream_table(
-                rates=tuple(args.rates),
-                runs=args.runs,
-                jobs=args.jobs,
-                progress=_progress_printer(args),
-            ).render()
-        )
+            print(
+                sweep_group_size(
+                    s_values=tuple(args.values),
+                    runs=args.runs,
+                    executor=executor,
+                    progress=_progress_printer(args),
+                ).render()
+            )
+        elif args.command == "scale-t":
+            from repro.experiments.scale import sweep_depth
+
+            print(
+                sweep_depth(
+                    t_values=tuple(args.values),
+                    level_size=args.level_size,
+                    runs=args.runs,
+                    executor=executor,
+                    progress=_progress_printer(args),
+                ).render()
+            )
+        elif args.command == "stream":
+            from repro.experiments.multievent import stream_table
+
+            print(
+                stream_table(
+                    rates=tuple(args.rates),
+                    runs=args.runs,
+                    executor=executor,
+                    progress=_progress_printer(args),
+                ).render()
+            )
+    finally:
+        if executor is not None:
+            executor.close()
     return 0
 
 

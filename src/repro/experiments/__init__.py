@@ -1,5 +1,10 @@
 """Experiment harness: regenerate every figure and table of the paper.
 
+* :mod:`~repro.experiments.executor` — the execution port: serial /
+  pool / warm-pool backends behind one ``Executor`` protocol,
+* :mod:`~repro.experiments.artifacts` — content-addressed per-cell
+  result store (``--cache``): skip finished cells, resume interrupted
+  sweeps, re-render without recomputation,
 * :mod:`~repro.experiments.runner` — seeded parameter sweeps with
   mean/std aggregation over repeated runs,
 * :mod:`~repro.experiments.figures` — Figs. 8, 9, 10, 11 (§VII),
@@ -13,6 +18,21 @@ are the series the paper plots; the benchmarks print them and assert the
 qualitative shape (who wins, orderings, crossovers).
 """
 
+from repro.experiments.executor import (
+    Executor,
+    ExecutorSpec,
+    PoolExecutor,
+    SerialExecutor,
+    WarmPoolExecutor,
+    coerce_executor,
+    parse_executor_spec,
+    resolve_executor,
+)
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    CachingExecutor,
+    write_json_atomic,
+)
 from repro.experiments.runner import (
     SweepCell,
     SweepResult,
@@ -38,6 +58,17 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
+    "Executor",
+    "ExecutorSpec",
+    "SerialExecutor",
+    "PoolExecutor",
+    "WarmPoolExecutor",
+    "parse_executor_spec",
+    "resolve_executor",
+    "coerce_executor",
+    "ArtifactStore",
+    "CachingExecutor",
+    "write_json_atomic",
     "run_sweep",
     "run_cells",
     "aggregate_runs",

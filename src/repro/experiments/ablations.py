@@ -16,6 +16,7 @@ from repro.analysis.reliability import (
     atomic_gossip_reliability,
     damulticast_reliability,
 )
+from repro.experiments.executor import ExecutorSpec, coerce_executor
 from repro.experiments.runner import ProgressFn, run_sweep
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
@@ -56,8 +57,9 @@ def sweep_link_redundancy(
     alive_fraction: float = 0.7,
     runs: int = 5,
     master_seed: int = 0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Reliability/messages as the number of inter-group links ``g`` grows.
 
@@ -74,7 +76,7 @@ def sweep_link_redundancy(
         runs=runs,
         master_seed=master_seed,
         label="ablation-g",
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         progress=progress,
     )
     table = Table(
@@ -108,8 +110,9 @@ def sweep_fanout_constant(
     alive_fraction: float = 1.0,
     runs: int = 5,
     master_seed: int = 0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Reliability/messages as the gossip fan-out constant ``c`` grows.
 
@@ -126,7 +129,7 @@ def sweep_fanout_constant(
         runs=runs,
         master_seed=master_seed,
         label="ablation-c",
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         progress=progress,
     )
     table = Table(

@@ -16,6 +16,7 @@ from __future__ import annotations
 import functools
 from typing import Mapping, Sequence
 
+from repro.experiments.executor import Executor, ExecutorSpec, coerce_executor
 from repro.experiments.runner import ProgressFn, SweepResult, run_sweep
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
@@ -64,11 +65,11 @@ def _sweep(
     scenario: PaperScenario,
     failure_mode: str,
     label: str,
-    jobs: int = 1,
+    executor: Executor,
     progress: ProgressFn | None = None,
 ) -> SweepResult:
     # A partial of the module-level run function (not a lambda) so the
-    # sweep can be fanned out over worker processes with jobs > 1.
+    # sweep can be fanned out over parallel executors.
     return run_sweep(
         functools.partial(
             _run_scenario_once, scenario=scenario, failure_mode=failure_mode
@@ -77,7 +78,7 @@ def _sweep(
         runs=runs,
         master_seed=master_seed,
         label=label,
-        jobs=jobs,
+        executor=executor,
         progress=progress,
     )
 
@@ -104,8 +105,9 @@ def run_figure8(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Fig. 8: number of events sent in each group vs alive fraction."""
     scenario = scenario or PaperScenario()
@@ -116,7 +118,7 @@ def run_figure8(
         scenario=scenario,
         failure_mode="stillborn",
         label="fig8",
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         progress=progress,
     )
     depth = scenario.depth
@@ -134,8 +136,9 @@ def run_figure9(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Fig. 9: number of inter-group events vs alive fraction."""
     scenario = scenario or PaperScenario()
@@ -146,7 +149,7 @@ def run_figure9(
         scenario=scenario,
         failure_mode="stillborn",
         label="fig9",
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         progress=progress,
     )
     depth = scenario.depth
@@ -165,8 +168,9 @@ def run_figure10(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Fig. 10: reception fraction per group, stillborn failures."""
     scenario = scenario or PaperScenario()
@@ -177,7 +181,7 @@ def run_figure10(
         scenario=scenario,
         failure_mode="stillborn",
         label="fig10",
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         progress=progress,
     )
     depth = scenario.depth
@@ -196,8 +200,9 @@ def run_figure11(
     runs: int = 5,
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Fig. 11: reception fraction per group, dynamic failures."""
     scenario = scenario or PaperScenario()
@@ -208,7 +213,7 @@ def run_figure11(
         scenario=scenario,
         failure_mode="dynamic",
         label="fig11",
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         progress=progress,
     )
     depth = scenario.depth

@@ -18,6 +18,7 @@ import random
 import statistics
 from typing import Mapping
 
+from repro.experiments.executor import ExecutorSpec, coerce_executor
 from repro.experiments.runner import (
     ProgressFn,
     SweepCell,
@@ -95,18 +96,20 @@ def stream_table(
     master_seed: int = 0,
     scenario: PaperScenario | None = None,
     publish_levels: tuple[int, ...] = (1, 2),
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Stream metrics across arrival rates (means over ``runs``).
 
     ``publish_levels`` picks which hierarchy levels publications land on;
     restrict it to a single level when comparing per-event costs across
-    rates (mixed levels have legitimately different costs). ``jobs``
-    fans the (rate, run) cells over worker processes; the seed names
+    rates (mixed levels have legitimately different costs). ``executor``
+    fans the (rate, run) cells over a parallel backend; the seed names
     match the serial loop's ``stream/{rate}/{j}`` derivation, so results
-    are identical for any ``jobs``. ``progress`` is invoked once per
-    completed rate as ``progress(rate, completed_rates, total_rates)``.
+    are identical for every backend (``jobs`` is the deprecated
+    keyword). ``progress`` is invoked once per completed rate as
+    ``progress(rate, completed_rates, total_rates)``.
     """
     table = Table(
         "Steady-state stream — per-event cost and delivery vs arrival rate",
@@ -135,7 +138,7 @@ def stream_table(
         ),
         cells,
         master_seed=master_seed,
-        jobs=jobs,
+        executor=coerce_executor(executor, jobs=jobs),
         on_result=grouped_progress(progress, list(rates), runs),
     )
     for index, rate in enumerate(rates):

@@ -1,4 +1,4 @@
-"""Seeded sweeps with aggregation and parallel execution.
+"""Seeded sweeps with aggregation over a pluggable execution port.
 
 An experiment is a function ``run(point, seed) -> dict[str, float]``.
 :func:`run_sweep` evaluates it at every grid point with ``runs`` derived
@@ -15,49 +15,66 @@ The seed for run ``j`` at grid point ``x`` is::
 :func:`~repro.sim.rng.derive_seed` is SHA-256 based, so the mapping is
 stable across Python versions, platforms and *processes* — a worker in a
 ``multiprocessing`` pool re-derives exactly the seed the serial loop
-would have used. This is what makes ``run_sweep(..., jobs=N)``
-bit-identical to the serial path for every ``N``: each (point, run) cell
-is a pure function of ``(master_seed, label, point, j)``, and
-aggregation always happens in canonical (point, run) order regardless of
-completion order or worker count.
+would have used. This is what makes ``run_sweep(...,
+executor="pool:N")`` bit-identical to the serial path for every ``N``:
+each (point, run) cell is a pure function of ``(master_seed, label,
+point, j)``, and aggregation always happens in canonical (point, run)
+order regardless of completion order or worker count.
 
 Label-collision caveat: two sweeps sharing the same ``label`` (e.g. the
 default ``"sweep"``) *and* a grid point reuse seeds cell-for-cell. Give
 each experiment a distinct label when their grids can overlap and the
 runs must be statistically independent.
 
-Parallel execution
+Execution backends
 ------------------
-``jobs=N`` fans the (point, run) cells out over a ``multiprocessing``
-pool via a chunked scheduler (:func:`run_cells`). The run function must
-be picklable — a module-level function, or a :func:`functools.partial`
-of one with picklable bound arguments; lambdas and nested closures are
-rejected with a :class:`~repro.errors.ConfigError`. Workers receive only
-``(run, master_seed)`` once at pool start and per-cell ``(point,
-seed_name)`` tuples, so the design is spawn-safe: nothing relies on
-forked parent state.
+How cells are evaluated is the :class:`~repro.experiments.executor.
+Executor` port's concern — ``executor=None`` (serial, the default),
+``"pool:N"`` (fresh multiprocessing pool), ``"warm:N"`` (persistent
+workers), or any object implementing the protocol (e.g. a
+:class:`~repro.experiments.artifacts.CachingExecutor`). Parallel
+backends require the run function to be picklable — a module-level
+function, or a :func:`functools.partial` of one with picklable bound
+arguments; lambdas and nested closures are rejected with a
+:class:`~repro.errors.ConfigError`. The pre-executor ``jobs``/
+``chunk_size``/``start_method`` keywords still work, with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import pickle
 import statistics
-import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigError
-from repro.sim.rng import derive_seed
+from repro.experiments.executor import (
+    ExecutorSpec,
+    OnResultFn,
+    SweepCell,
+    SweepWorkerError,
+    coerce_executor,
+)
 from repro.validation import check_finite_grid
+
+__all__ = [
+    "RunFn",
+    "ProgressFn",
+    "SweepResult",
+    "SweepCell",
+    "SweepWorkerError",
+    "aggregate_runs",
+    "grouped_progress",
+    "run_cells",
+    "run_sweep",
+]
 
 RunFn = Callable[[float, int], Mapping[str, float]]
 
 #: Per-point progress callback: ``progress(point, completed_points,
 #: total_points)``, invoked once per grid point as soon as all of its
-#: runs have finished (completion order under ``jobs>1``, canonical
-#: order under ``jobs=1``).
+#: runs have finished (completion order under parallel executors,
+#: canonical order serially).
 ProgressFn = Callable[[float, int, int], None]
 
 
@@ -82,50 +99,6 @@ class SweepResult:
     def metric_names(self) -> list[str]:
         """All aggregated metric names, sorted."""
         return sorted(self.means)
-
-
-@dataclass(frozen=True)
-class SweepCell:
-    """One schedulable unit of sweep work.
-
-    ``arg`` is handed to the run function verbatim; the worker derives
-    the cell's seed as ``derive_seed(master_seed, seed_name)`` — it never
-    receives a seed over the wire, which keeps the contract auditable
-    from the cell alone. ``describe`` labels the cell in error messages.
-    """
-
-    arg: Any
-    seed_name: str
-    describe: str = ""
-
-
-class SweepWorkerError(RuntimeError):
-    """A sweep cell's run function raised.
-
-    Identifies the failing cell — point/arg, run index (via
-    ``describe``), seed name and the derived seed — plus the worker-side
-    traceback when the failure happened in a pool worker.
-    """
-
-    def __init__(
-        self,
-        cell: SweepCell,
-        seed: int,
-        cause: str,
-        worker_traceback: str | None = None,
-    ):
-        self.cell = cell
-        self.seed = seed
-        self.cause = cause
-        self.worker_traceback = worker_traceback
-        where = cell.describe or f"arg={cell.arg!r}"
-        message = (
-            f"sweep cell failed ({where}, seed_name={cell.seed_name!r}, "
-            f"seed={seed}): {cause}"
-        )
-        if worker_traceback:
-            message += f"\n--- worker traceback ---\n{worker_traceback}"
-        super().__init__(message)
 
 
 def aggregate_runs(
@@ -153,73 +126,11 @@ def aggregate_runs(
     return means, stds
 
 
-# ----------------------------------------------------------------------
-# Pool worker plumbing.
-#
-# Workers are initialized once with (run, master_seed); each task is a
-# chunk of (index, cell) pairs. The worker re-derives every cell's seed
-# from (master_seed, cell.seed_name) — the parent never ships seeds, so
-# the serial and parallel paths cannot diverge on seeding. Exceptions
-# are captured per cell and reported back as data: a worker never dies
-# on a run-function error, and the parent re-raises deterministically
-# for the lowest failing cell index.
-# ----------------------------------------------------------------------
-
-_WORKER_RUN: Callable[[Any, int], Any] | None = None
-_WORKER_MASTER_SEED: int = 0
-
-
-def _init_worker(run: Callable[[Any, int], Any], master_seed: int) -> None:
-    global _WORKER_RUN, _WORKER_MASTER_SEED
-    _WORKER_RUN = run
-    _WORKER_MASTER_SEED = master_seed
-
-
-def _run_chunk(
-    chunk: list[tuple[int, SweepCell]]
-) -> list[tuple[int, bool, Any]]:
-    out: list[tuple[int, bool, Any]] = []
-    for index, cell in chunk:
-        # repro-lint: allow[DET004]: cell.seed_name is an f-string literal declared by each sweep driver and linted there
-        seed = derive_seed(_WORKER_MASTER_SEED, cell.seed_name)
-        try:
-            result = _WORKER_RUN(cell.arg, seed)
-            # Verify the result survives the trip back to the parent —
-            # an unpicklable value would otherwise abort the whole pool
-            # with an opaque MaybeEncodingError naming no cell.
-            pickle.dumps(result)
-            out.append((index, True, result))
-        except Exception as exc:  # noqa: BLE001 — reported to the parent
-            out.append(
-                (index, False, (repr(exc), traceback.format_exc()))
-            )
-    return out
-
-
-def _ensure_picklable(
-    run: Callable[[Any, int], Any], cells: Sequence[SweepCell]
-) -> None:
-    try:
-        pickle.dumps(run)
-    except Exception as exc:
-        raise ConfigError(
-            "run function must be picklable for jobs > 1: use a "
-            "module-level function or a functools.partial of one "
-            f"(got {run!r}: {exc})"
-        ) from exc
-    try:
-        pickle.dumps(list(cells))
-    except Exception as exc:
-        raise ConfigError(
-            f"cell args must be picklable for jobs > 1: {exc}"
-        ) from exc
-
-
 def grouped_progress(
     progress: ProgressFn | None,
     groups: Sequence[Any],
     cells_per_group: int,
-) -> Callable[[int, int, int], None] | None:
+) -> OnResultFn | None:
     """Adapt a per-group ``progress`` callback to a per-cell ``on_result``.
 
     For a cell list laid out group-major (``cells_per_group`` consecutive
@@ -248,100 +159,41 @@ def run_cells(
     cells: Sequence[SweepCell],
     *,
     master_seed: int = 0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
+    on_result: OnResultFn | None = None,
+    jobs: int | None = None,
     chunk_size: int | None = None,
     start_method: str | None = None,
-    on_result: Callable[[int, int, int], None] | None = None,
 ) -> list[Any]:
     """Evaluate ``run(cell.arg, seed)`` for every cell; results in order.
 
-    The chunked scheduler behind :func:`run_sweep` — also usable
+    The cell-level entry point behind :func:`run_sweep` — also usable
     directly by experiments whose repetition structure isn't a (grid x
     runs) sweep (paired comparisons, per-algorithm runs). Each cell's
     seed is ``derive_seed(master_seed, cell.seed_name)``, derived inside
-    the worker.
+    the worker, so results are bit-identical across backends.
 
-    ``jobs=1`` runs in-process, in order. ``jobs>1`` fans cells out over
-    a ``multiprocessing`` pool (``start_method`` picks fork/spawn/
-    forkserver; None = platform default) in contiguous chunks of
-    ``chunk_size`` cells (default: enough chunks for ~4 per worker). The
-    returned list is always in cell order, so callers see identical
-    results for every ``jobs``/``chunk_size``/``start_method`` choice.
-
-    ``on_result(index, completed, total)`` is called after each
-    *successful* cell (completion order); a failed cell is never
+    ``executor`` selects the backend (None = serial; ``"pool:N"``,
+    ``"warm:N"``, or an :class:`~repro.experiments.executor.Executor`
+    instance). ``on_result(index, completed, total)`` is called after
+    each *successful* cell (completion order); a failed cell is never
     announced as done. A run-function exception is re-raised as
-    :class:`SweepWorkerError` for the lowest failing cell index, with
-    the worker traceback attached; once every cell below the lowest
-    observed failure has completed (so the canonical first failure is
-    known), the pool is torn down without waiting for the rest of the
-    sweep.
-    """
-    if jobs < 1:
-        raise ConfigError(f"jobs must be >= 1, got {jobs}")
-    if chunk_size is not None and chunk_size < 1:
-        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
-    cells = list(cells)
-    total = len(cells)
-    results: list[Any] = [None] * total
-    if jobs == 1 or total <= 1:
-        for index, cell in enumerate(cells):
-            # repro-lint: allow[DET004]: cell.seed_name is an f-string literal declared by each sweep driver and linted there
-            seed = derive_seed(master_seed, cell.seed_name)
-            try:
-                results[index] = run(cell.arg, seed)
-            except Exception as exc:
-                raise SweepWorkerError(cell, seed, repr(exc)) from exc
-            if on_result is not None:
-                on_result(index, index + 1, total)
-        return results
+    :class:`SweepWorkerError` for the canonically first failing cell,
+    with the worker traceback attached when it failed in a pool worker.
 
-    _ensure_picklable(run, cells)
-    if chunk_size is None:
-        chunk_size = max(1, math.ceil(total / (jobs * 4)))
-    indexed = list(enumerate(cells))
-    chunks = [
-        indexed[start : start + chunk_size]
-        for start in range(0, total, chunk_size)
-    ]
-    failures: list[tuple[int, tuple[str, str]]] = []
-    finished = [False] * total
-    done = 0
-    ctx = multiprocessing.get_context(start_method)
-    with ctx.Pool(
-        processes=min(jobs, len(chunks)),
-        initializer=_init_worker,
-        initargs=(run, master_seed),
-    ) as pool:
-        for chunk_results in pool.imap_unordered(_run_chunk, chunks):
-            for index, ok, payload in chunk_results:
-                finished[index] = True
-                if ok:
-                    results[index] = payload
-                    done += 1
-                    if on_result is not None:
-                        on_result(index, done, total)
-                else:
-                    failures.append((index, payload))
-            # Fail fast, deterministically: once every cell below the
-            # lowest observed failure has completed (necessarily
-            # successfully, or the minimum would be lower), that failure
-            # is the canonical first one — abandon the rest of the sweep
-            # instead of draining it. Exiting the `with` terminates the
-            # pool.
-            if failures and all(finished[: min(failures)[0]]):
-                break
-    if failures:
-        index, (cause, worker_tb) = min(failures)
-        cell = cells[index]
-        raise SweepWorkerError(
-            cell,
-            # repro-lint: allow[DET004]: cell.seed_name is an f-string literal declared by each sweep driver and linted there
-            derive_seed(master_seed, cell.seed_name),
-            cause,
-            worker_tb,
-        )
-    return results
+    ``jobs``/``chunk_size``/``start_method`` are the deprecated PR-3
+    keywords; they still work (DeprecationWarning) but cannot be
+    combined with ``executor``.
+    """
+    resolved = coerce_executor(
+        executor,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        start_method=start_method,
+    )
+    return resolved.map_cells(
+        run, cells, master_seed=master_seed, on_result=on_result
+    )
 
 
 def run_sweep(
@@ -351,8 +203,9 @@ def run_sweep(
     runs: int = 5,
     master_seed: int = 0,
     label: str = "sweep",
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
     chunk_size: int | None = None,
     start_method: str | None = None,
 ) -> SweepResult:
@@ -364,20 +217,31 @@ def run_sweep(
     the label-collision caveat: sweeps sharing a ``label`` and a grid
     point reuse seeds).
 
-    ``jobs=N`` evaluates the (point, run) cells on a pool of ``N``
-    worker processes; the result is bit-identical to ``jobs=1`` for
-    every ``N`` because workers re-derive seeds from the contract above
-    and aggregation happens in canonical (point, run) order. The run
-    function must then be picklable (module-level or a
+    ``executor="pool:N"`` (or ``"warm:N"``, or an Executor instance)
+    evaluates the (point, run) cells on ``N`` worker processes; the
+    result is bit-identical to serial for every backend and worker count
+    because workers re-derive seeds from the contract above and
+    aggregation happens in canonical (point, run) order. Parallel
+    backends need a picklable run function (module-level or a
     ``functools.partial`` of one). ``progress`` is invoked once per
     completed grid point as ``progress(point, completed_points,
     total_points)``.
+
+    ``jobs``/``chunk_size``/``start_method`` are the deprecated PR-3
+    keywords; they still work (DeprecationWarning) but cannot be
+    combined with ``executor``.
     """
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
     if not grid:
         raise ConfigError("grid must not be empty")
     check_finite_grid(grid)
+    resolved = coerce_executor(
+        executor,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        start_method=start_method,
+    )
     cells = [
         SweepCell(
             arg=point,
@@ -387,13 +251,10 @@ def run_sweep(
         for point in grid
         for j in range(runs)
     ]
-    samples = run_cells(
+    samples = resolved.map_cells(
         run,
         cells,
         master_seed=master_seed,
-        jobs=jobs,
-        chunk_size=chunk_size,
-        start_method=start_method,
         on_result=grouped_progress(progress, list(grid), runs),
     )
     result = SweepResult(runs=runs)

@@ -19,6 +19,7 @@ import math
 from dataclasses import replace
 from typing import Mapping, Sequence
 
+from repro.experiments.executor import ExecutorSpec, coerce_executor
 from repro.experiments.runner import ProgressFn, run_sweep
 from repro.metrics.report import Table
 from repro.workloads.scenarios import PaperScenario
@@ -54,8 +55,9 @@ def sweep_group_size(
     master_seed: int = 0,
     c: float = 5.0,
     log_base: float = 10.0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Messages per publication vs the bottom group size ``S``.
 
@@ -73,8 +75,8 @@ def sweep_group_size(
             _group_size_cell, base=base, upper_sizes=tuple(upper_sizes)
         ),
         [float(s) for s in s_values],
-        runs=runs, master_seed=master_seed, label="scale-S", jobs=jobs,
-        progress=progress,
+        runs=runs, master_seed=master_seed, label="scale-S",
+        executor=coerce_executor(executor, jobs=jobs), progress=progress,
     )
     table = Table(
         "Scaling — event messages vs bottom group size S "
@@ -113,8 +115,9 @@ def sweep_depth(
     master_seed: int = 0,
     c: float = 5.0,
     log_base: float = 10.0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
+    jobs: int | None = None,
 ) -> Table:
     """Messages per publication vs chain depth ``t`` at fixed level size."""
     sweep = run_sweep(
@@ -122,8 +125,8 @@ def sweep_depth(
             _depth_cell, level_size=level_size, c=c, log_base=log_base
         ),
         [float(t) for t in t_values],
-        runs=runs, master_seed=master_seed, label="scale-t", jobs=jobs,
-        progress=progress,
+        runs=runs, master_seed=master_seed, label="scale-t",
+        executor=coerce_executor(executor, jobs=jobs), progress=progress,
     )
     table = Table(
         "Scaling — total event messages vs hierarchy depth t "

@@ -76,6 +76,7 @@ import math
 import pathlib
 import random
 import statistics
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
@@ -86,6 +87,7 @@ from repro.baselines.naive_publisher import NaivePublisherSystem
 from repro.core.params import DaMulticastConfig, TopicParams
 from repro.core.system import DaMulticastSystem
 from repro.errors import ConfigError, ReproError
+from repro.experiments.executor import ExecutorSpec, coerce_executor
 from repro.experiments.runner import (
     ProgressFn,
     SweepCell,
@@ -1692,10 +1694,45 @@ def compile_spec(spec: Mapping) -> CompiledSpec:
     )
 
 
+#: Process-local memo of compiled specs, keyed by :func:`spec_digest`.
+#: Bounded LRU: a sweep touches one base spec plus one variant per swept
+#: value, so a handful of entries covers a whole sweep; the bound only
+#: guards against unbounded growth across many different sweeps in one
+#: long-lived process.
+_COMPILE_CACHE: OrderedDict[str, CompiledSpec] = OrderedDict()
+_COMPILE_CACHE_LIMIT = 32
+
+
+def compile_spec_cached(spec: Mapping) -> CompiledSpec:
+    """:func:`compile_spec`, memoized per :func:`spec_digest`.
+
+    This is what makes warm pool workers cheap: every cell of a sweep
+    reaches :func:`run_spec` in the same worker process, and with the
+    memo the spec validates and compiles once per distinct spec digest —
+    not once per cell. Safe because a :class:`CompiledSpec` is treated
+    as immutable after compilation (``run(seed)`` builds fresh per-seed
+    state every call).
+    """
+    key = spec_digest(spec)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        _COMPILE_CACHE.move_to_end(key)
+        return cached
+    compiled = compile_spec(spec)
+    _COMPILE_CACHE[key] = compiled
+    if len(_COMPILE_CACHE) > _COMPILE_CACHE_LIMIT:
+        _COMPILE_CACHE.popitem(last=False)
+    return compiled
+
+
 def run_spec(spec: Mapping, seed: int = 0) -> dict[str, float]:
     """Compile, build and run ``spec`` for one seed; a pure function of
-    ``(spec, seed)`` — same inputs, bit-identical metrics, any process."""
-    return compile_spec(spec).run(seed)
+    ``(spec, seed)`` — same inputs, bit-identical metrics, any process.
+
+    Compilation is memoized per spec digest (:func:`compile_spec_cached`),
+    so repeated calls with the same spec — the shape of every sweep cell
+    in a warm pool worker — pay the validation cost once."""
+    return compile_spec_cached(spec).run(seed)
 
 
 # ----------------------------------------------------------------------
@@ -1739,6 +1776,20 @@ def metrics_digest(metrics) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def spec_digest(spec: Mapping) -> str:
+    """SHA-256 hex digest of a spec mapping in canonical JSON.
+
+    Two specs digest equal iff they are the same plain data — the
+    identity key for the compile memo (:func:`compile_spec_cached`) and
+    for artifact-store run keys
+    (:class:`~repro.experiments.artifacts.ArtifactStore`).
+    """
+    payload = json.dumps(
+        dict(spec), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def load_spec(ref: str) -> dict:
     """Load a spec from a JSON file path or a bundled preset name."""
     path = pathlib.Path(ref)
@@ -1773,18 +1824,22 @@ def run_scenario(
     *,
     runs: int = 1,
     master_seed: int = 0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
     label: str | None = None,
+    jobs: int | None = None,
 ) -> list[dict[str, float]]:
     """Run ``spec`` ``runs`` times with derived seeds; per-run metrics.
 
-    Run ``j`` uses ``derive_seed(master_seed, f"{label}/{j}")``; cells fan
-    out over ``jobs`` worker processes and the result list is identical
-    for any ``jobs`` count. Aggregate with
+    Run ``j`` uses ``derive_seed(master_seed, f"{label}/{j}")``; cells
+    run on ``executor`` (None = serial; ``"pool:N"``/``"warm:N"`` or an
+    Executor instance) and the result list is identical for every
+    backend and worker count. ``jobs`` is the deprecated pre-executor
+    keyword. Aggregate with
     :func:`~repro.experiments.runner.aggregate_runs`.
     """
-    compiled = compile_spec(spec)
+    resolved = coerce_executor(executor, jobs=jobs)
+    compiled = compile_spec_cached(spec)
     if runs < 1:
         raise ConfigError(f"runs must be >= 1, got {runs}")
     label = label or f"scenario/{compiled.name}"
@@ -1796,7 +1851,7 @@ def run_scenario(
         functools.partial(_scenario_cell, spec=compiled.spec),
         cells,
         master_seed=master_seed,
-        jobs=jobs,
+        executor=resolved,
         on_result=grouped_progress(progress, [float(j) for j in range(runs)], 1),
     )
 
@@ -1814,17 +1869,20 @@ def sweep_scenario(
     *,
     runs: int = 3,
     master_seed: int = 0,
-    jobs: int = 1,
+    executor: ExecutorSpec = None,
     progress: ProgressFn | None = None,
     label: str | None = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Sweep ``spec`` over any dotted field; aggregated metrics per value.
 
     Numeric grids go through :func:`~repro.experiments.runner.run_sweep`
     unchanged; non-numeric values (protocol names, failure kinds, ...) use
     the same cell scheduler and the identical ``{label}/{value}/{j}`` seed
-    naming, so both paths are bit-identical across ``jobs`` counts.
+    naming, so both paths are bit-identical across executors and worker
+    counts. ``jobs`` is the deprecated pre-executor keyword.
     """
+    resolved = coerce_executor(executor, jobs=jobs)
     if not values:
         raise ConfigError("sweep values must not be empty")
     if runs < 1:
@@ -1848,7 +1906,7 @@ def sweep_scenario(
             runs=runs,
             master_seed=master_seed,
             label=label,
-            jobs=jobs,
+            executor=resolved,
             progress=progress,
         )
     cells = [
@@ -1864,7 +1922,7 @@ def sweep_scenario(
         run,
         cells,
         master_seed=master_seed,
-        jobs=jobs,
+        executor=resolved,
         on_result=grouped_progress(progress, list(values), runs),
     )
     result = SweepResult(runs=runs)

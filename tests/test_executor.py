@@ -1,0 +1,337 @@
+"""The execution port: backend equivalence, spec parsing, warm pools.
+
+The acceptance contract: every executor backend (serial, pool, warm) is
+bit-identical to :class:`SerialExecutor` for any worker count, because
+each backend derives cell seeds inside the worker from ``(master_seed,
+cell.seed_name)`` and returns results in cell order. On top of that:
+spec strings parse predictably, warm pools actually reuse their worker
+processes across ``map_cells`` calls, failures stay deterministic and
+leave a warm pool usable, the optional joblib/dask adapters are
+import-gated, and no internal call site still uses the deprecated
+``jobs``/``chunk_size``/``start_method`` keywords.
+"""
+
+import ast
+import os
+import pathlib
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.experiments.executor import (
+    DaskExecutor,
+    Executor,
+    JoblibExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    SweepCell,
+    SweepWorkerError,
+    WarmPoolExecutor,
+    coerce_executor,
+    parse_executor_spec,
+    resolve_executor,
+)
+from repro.sim.rng import derive_seed
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _metrics(point, seed):
+    return {"m": (seed % 9973) * point, "b": float(seed % 7)}
+
+
+def _echo_seed(point, seed):
+    return {"seed": float(seed)}
+
+
+def _worker_pid(point, seed):
+    return {"pid": float(os.getpid()), "seed": float(seed)}
+
+
+def _fail_at_two(point, seed):
+    if point == 2.0:
+        raise ValueError("boom")
+    return {"y": 1.0}
+
+
+def _cells(points, label="x"):
+    return [
+        SweepCell(arg=p, seed_name=f"{label}/{p}", describe=f"point={p}")
+        for p in points
+    ]
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        points=st.lists(
+            st.floats(-100.0, 100.0).map(lambda x: round(x, 2)),
+            min_size=1,
+            max_size=6,
+        ),
+        master_seed=st.integers(0, 2**32),
+        jobs=st.integers(1, 4),
+        backend=st.sampled_from(["pool", "warm"]),
+    )
+    def test_hypothesis_bit_identical_to_serial(
+        self, points, master_seed, jobs, backend
+    ):
+        cells = _cells(points)
+        serial = SerialExecutor().map_cells(
+            _metrics, cells, master_seed=master_seed
+        )
+        factory = PoolExecutor if backend == "pool" else WarmPoolExecutor
+        executor = factory(jobs)
+        try:
+            other = executor.map_cells(
+                _metrics, cells, master_seed=master_seed
+            )
+        finally:
+            executor.close()
+        assert other == serial
+        assert [list(sample) for sample in other] == [
+            list(sample) for sample in serial
+        ]
+
+    def test_seed_derived_inside_worker(self):
+        cells = _cells([1.0, 2.0, 3.0], label="seeds")
+        for executor in (SerialExecutor(), PoolExecutor(2)):
+            results = executor.map_cells(_echo_seed, cells, master_seed=9)
+            assert [r["seed"] for r in results] == [
+                float(derive_seed(9, f"seeds/{p}")) for p in (1.0, 2.0, 3.0)
+            ]
+
+    def test_warm_repeated_calls_identical(self):
+        cells = _cells([0.5, 1.5, 2.5])
+        with WarmPoolExecutor(2) as warm:
+            first = warm.map_cells(_metrics, cells, master_seed=4)
+            second = warm.map_cells(_metrics, cells, master_seed=4)
+        assert first == second
+        assert first == SerialExecutor().map_cells(
+            _metrics, cells, master_seed=4
+        )
+
+
+class TestWarmPoolReuse:
+    def test_workers_persist_across_calls(self):
+        cells = _cells([float(i) for i in range(8)])
+        with WarmPoolExecutor(2, chunk_size=1) as warm:
+            pids_first = {
+                r["pid"] for r in warm.map_cells(_worker_pid, cells)
+            }
+            pids_second = {
+                r["pid"] for r in warm.map_cells(_worker_pid, cells)
+            }
+        # One persistent 2-worker pool serves both calls, so at most 2
+        # distinct pids appear across them; a pool respawned per call
+        # (the cold PoolExecutor behavior) would show up to 4.
+        assert len(pids_first | pids_second) <= 2
+        assert os.getpid() not in {int(p) for p in pids_first | pids_second}
+
+    def test_cold_pool_respawns_per_call(self):
+        cells = _cells([float(i) for i in range(8)])
+        pool = PoolExecutor(2, chunk_size=1)
+        pids_first = {r["pid"] for r in pool.map_cells(_worker_pid, cells)}
+        pids_second = {r["pid"] for r in pool.map_cells(_worker_pid, cells)}
+        # Fresh processes per call: the two worker sets are disjoint.
+        assert not (pids_first & pids_second)
+
+    def test_warm_pool_survives_cell_failure(self):
+        ok_cells = _cells([1.0, 3.0])
+        bad_cells = _cells([1.0, 2.0, 3.0])
+        with WarmPoolExecutor(2, chunk_size=1) as warm:
+            before = warm.map_cells(_fail_at_two, ok_cells)
+            with pytest.raises(SweepWorkerError, match="point=2.0"):
+                warm.map_cells(_fail_at_two, bad_cells)
+            after = warm.map_cells(_fail_at_two, ok_cells)
+        assert before == after == [{"y": 1.0}, {"y": 1.0}]
+
+    def test_close_is_idempotent_and_allows_reuse(self):
+        warm = WarmPoolExecutor(2)
+        cells = _cells([1.0, 2.0])
+        assert warm.map_cells(_metrics, cells) == SerialExecutor().map_cells(
+            _metrics, cells
+        )
+        warm.close()
+        warm.close()
+        # A closed executor lazily re-creates its pool on the next call.
+        assert warm.map_cells(_metrics, cells) == SerialExecutor().map_cells(
+            _metrics, cells
+        )
+        warm.close()
+
+    def test_single_cell_never_spawns_pool(self):
+        # Lambdas are unpicklable; a 1-cell call must stay in-process.
+        with WarmPoolExecutor(4) as warm:
+            assert warm.map_cells(
+                lambda p, s: {"y": p}, _cells([7.0])
+            ) == [{"y": 7.0}]
+
+
+class TestOnResult:
+    @pytest.mark.parametrize(
+        "factory",
+        [SerialExecutor, lambda: PoolExecutor(2, chunk_size=1),
+         lambda: WarmPoolExecutor(2, chunk_size=1)],
+    )
+    def test_every_cell_announced_once(self, factory):
+        cells = _cells([1.0, 2.0, 3.0, 4.0])
+        seen = []
+        executor = factory()
+        try:
+            executor.map_cells(
+                _metrics,
+                cells,
+                on_result=lambda index, done, total: seen.append(
+                    (index, done, total)
+                ),
+            )
+        finally:
+            executor.close()
+        assert sorted(index for index, _, _ in seen) == [0, 1, 2, 3]
+        assert sorted(done for _, done, _ in seen) == [1, 2, 3, 4]
+        assert all(total == 4 for _, _, total in seen)
+
+
+class TestSpecParsing:
+    def test_serial(self):
+        assert isinstance(parse_executor_spec("serial"), SerialExecutor)
+
+    def test_pool_with_count(self):
+        executor = parse_executor_spec("pool:3")
+        assert isinstance(executor, PoolExecutor)
+        assert executor.jobs == 3
+
+    def test_warm_with_count(self):
+        executor = parse_executor_spec("warm:2")
+        assert isinstance(executor, WarmPoolExecutor)
+        assert executor.jobs == 2
+
+    def test_count_defaults_to_cpu(self):
+        assert parse_executor_spec("pool").jobs == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize(
+        "bad", ["serial:2", "bogus", "pool:x", "pool:", "warm:0"]
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_executor_spec(bad)
+
+    def test_resolve_none_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_resolve_passes_instances_through(self):
+        executor = PoolExecutor(2)
+        assert resolve_executor(executor) is executor
+
+    def test_resolve_rejects_non_executors(self):
+        with pytest.raises(ConfigError, match="executor"):
+            resolve_executor(42)
+
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert isinstance(WarmPoolExecutor(1), Executor)
+
+
+class TestCoerceExecutor:
+    def test_no_args_is_serial(self):
+        assert isinstance(coerce_executor(), SerialExecutor)
+
+    def test_legacy_jobs_warns_and_builds_pool(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            executor = coerce_executor(jobs=3)
+        assert isinstance(executor, PoolExecutor)
+        assert executor.jobs == 3
+
+    def test_legacy_jobs_one_is_serial(self):
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(coerce_executor(jobs=1), SerialExecutor)
+
+    def test_both_sources_conflict(self):
+        with pytest.raises(ConfigError, match="not both"):
+            coerce_executor("pool:2", jobs=2)
+
+
+class TestOptionalAdapters:
+    def test_joblib_gated_or_equivalent(self):
+        try:
+            import joblib  # noqa: F401
+        except ImportError:
+            with pytest.raises(ConfigError, match="joblib"):
+                JoblibExecutor(2)
+            with pytest.raises(ConfigError, match="joblib"):
+                parse_executor_spec("joblib:2")
+            return
+        cells = _cells([1.0, 2.0, 3.0])
+        assert JoblibExecutor(2).map_cells(
+            _metrics, cells, master_seed=3
+        ) == SerialExecutor().map_cells(_metrics, cells, master_seed=3)
+
+    def test_dask_gated_or_equivalent(self):
+        try:
+            import dask.bag  # noqa: F401
+        except ImportError:
+            with pytest.raises(ConfigError, match="dask"):
+                DaskExecutor(2)
+            return
+        cells = _cells([1.0, 2.0, 3.0])
+        assert DaskExecutor(2).map_cells(
+            _metrics, cells, master_seed=3
+        ) == SerialExecutor().map_cells(_metrics, cells, master_seed=3)
+
+
+class TestNoInternalLegacyUse:
+    """The deprecated keyword trio survives only as the user-facing shim."""
+
+    def test_no_internal_call_site_passes_legacy_kwargs(self):
+        # Every call in src/repro that passes jobs=/chunk_size=/
+        # start_method= must be the shim forwarding into coerce_executor
+        # (or live in executor.py, which implements the shim). Anything
+        # else is an internal caller still on the deprecated API.
+        offenders = []
+        legacy = {"jobs", "chunk_size", "start_method"}
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            if path.name == "executor.py":
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                passed = {
+                    kw.arg for kw in node.keywords if kw.arg in legacy
+                }
+                if not passed:
+                    continue
+                func = node.func
+                name = getattr(func, "id", getattr(func, "attr", None))
+                if name != "coerce_executor":
+                    offenders.append(
+                        f"{path.relative_to(SRC_ROOT)}:{node.lineno} "
+                        f"passes {sorted(passed)} to {name}"
+                    )
+        assert not offenders, "\n".join(offenders)
+
+    def test_public_entry_points_warn_free(self):
+        # Behavioral counterpart: exercising the executor-based API end
+        # to end (library sweep + scenario + CLI --jobs alias) must not
+        # trip the deprecation shim anywhere internally.
+        from repro.cli import main
+        from repro.experiments.runner import run_sweep
+        from repro.workloads.spec import run_scenario
+
+        spec = {
+            "name": "warnfree",
+            "topics": {"kind": "chain", "depth": 1},
+            "subscriptions": {"kind": "per_level", "counts": [2, 4]},
+        }
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_sweep(_metrics, [1.0, 2.0], runs=2, executor="pool:2")
+            run_scenario(spec, runs=2, executor="pool:2")
+            assert main([
+                "fig10", "--jobs", "2", "--runs", "1",
+                "--grid", "0.5", "--sizes", "3", "8", "20",
+            ]) == 0

@@ -352,18 +352,22 @@ class TestDeterminism:
     @settings(max_examples=3, deadline=None)
     @given(master_seed=st.integers(0, 2**32))
     def test_run_scenario_bit_identical_across_jobs(self, master_seed):
-        serial = run_scenario(DYNAMIC, runs=2, master_seed=master_seed, jobs=1)
-        parallel = run_scenario(DYNAMIC, runs=2, master_seed=master_seed, jobs=2)
+        serial = run_scenario(
+            DYNAMIC, runs=2, master_seed=master_seed, executor="serial"
+        )
+        parallel = run_scenario(
+            DYNAMIC, runs=2, master_seed=master_seed, executor="pool:2"
+        )
         assert serial == parallel
         assert metrics_digest(serial) == metrics_digest(parallel)
 
     def test_sweep_bit_identical_serial_vs_pool(self):
         kwargs = dict(runs=2, master_seed=7)
         serial = sweep_scenario(
-            DYNAMIC, "p_success", [0.85, 1.0], jobs=1, **kwargs
+            DYNAMIC, "p_success", [0.85, 1.0], executor="serial", **kwargs
         )
         parallel = sweep_scenario(
-            DYNAMIC, "p_success", [0.85, 1.0], jobs=2, **kwargs
+            DYNAMIC, "p_success", [0.85, 1.0], executor="pool:2", **kwargs
         )
         assert serial.points == parallel.points
         assert serial.means == parallel.means

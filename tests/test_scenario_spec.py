@@ -2,7 +2,7 @@
 
 Covers: precise ConfigError validation (unknown keys, bad distributions,
 negative rates, impossible references), seed determinism (same spec + seed
-⇒ identical metrics digest across serial and ``jobs=2``), bundled preset
+⇒ identical metrics digest across serial and ``pool:2``), bundled preset
 integrity (every preset runs end-to-end and is bit-identical across CLI
 ``--jobs 1`` / ``--jobs 2``), and the spec-manipulation helpers.
 """
@@ -299,18 +299,18 @@ class TestDeterminism:
         assert digest_a != digest_b
 
     def test_run_scenario_bit_identical_across_jobs(self):
-        serial = run_scenario(SMALL, runs=4, master_seed=3, jobs=1)
-        parallel = run_scenario(SMALL, runs=4, master_seed=3, jobs=2)
+        serial = run_scenario(SMALL, runs=4, master_seed=3, executor="serial")
+        parallel = run_scenario(SMALL, runs=4, master_seed=3, executor="pool:2")
         assert serial == parallel
         assert metrics_digest(serial) == metrics_digest(parallel)
 
     def test_numeric_sweep_bit_identical_across_jobs(self):
         kwargs = dict(runs=2, master_seed=0)
         serial = sweep_scenario(
-            SMALL, "failures.alive_fraction", [0.5, 1.0], jobs=1, **kwargs
+            SMALL, "failures.alive_fraction", [0.5, 1.0], executor="serial", **kwargs
         )
         parallel = sweep_scenario(
-            SMALL, "failures.alive_fraction", [0.5, 1.0], jobs=2, **kwargs
+            SMALL, "failures.alive_fraction", [0.5, 1.0], executor="pool:2", **kwargs
         )
         assert serial.points == parallel.points
         assert serial.means == parallel.means
@@ -325,7 +325,7 @@ class TestDeterminism:
         messages = result.means["event_messages"]
         assert messages[1] > messages[0] * 0.5  # both ran and produced data
         parallel = sweep_scenario(
-            SMALL, "protocol", ["daMulticast", "broadcast"], runs=1, jobs=2
+            SMALL, "protocol", ["daMulticast", "broadcast"], runs=1, executor="pool:2"
         )
         assert parallel.means == result.means
 

@@ -1,17 +1,23 @@
 """Parallel sweep engine: serial-vs-parallel equivalence and scheduling.
 
-The contract under test: ``run_sweep(..., jobs=N)`` is bit-identical to
-the serial path for every N, chunk size and start method, because
-workers re-derive each cell's seed from ``(master_seed, label, point,
-j)`` and aggregation happens in canonical (point, run) order. Worker
-failures must surface with the failing (point, run, seed) identified.
+The contract under test: ``run_sweep(..., executor="pool:N")`` is
+bit-identical to the serial path for every N, chunk size and start
+method, because workers re-derive each cell's seed from ``(master_seed,
+label, point, j)`` and aggregation happens in canonical (point, run)
+order. Worker failures must surface with the failing (point, run, seed)
+identified. The deprecated ``jobs``/``chunk_size``/``start_method``
+keywords must keep working behind a DeprecationWarning.
 
-The run functions used with ``jobs > 1`` are module-level — the pool
-pickles them by reference (and that requirement is itself under test).
+Cross-backend equivalence (serial vs pool vs warm, arbitrary worker
+counts) lives in ``test_executor.py``; this file covers the sweep
+layer on top of the port.
+
+The run functions used with parallel executors are module-level — the
+pool pickles them by reference (and that requirement is itself under
+test).
 """
 
 import functools
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -19,6 +25,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.experiments import (
+    PoolExecutor,
     SweepCell,
     SweepWorkerError,
     aggregate_runs,
@@ -84,14 +91,16 @@ class TestSerialParallelEquivalence:
             runs=runs,
             master_seed=master_seed,
             label="hyp",
-            jobs=jobs,
+            executor=f"pool:{jobs}",
         )
         _sweeps_equal(serial, parallel)
 
     def test_partial_run_fn_parallel(self):
         run = functools.partial(_scaled, factor=3.0)
         serial = run_sweep(run, [0.5, 1.5], runs=3, label="partial")
-        parallel = run_sweep(run, [0.5, 1.5], runs=3, label="partial", jobs=2)
+        parallel = run_sweep(
+            run, [0.5, 1.5], runs=3, label="partial", executor="pool:2"
+        )
         _sweeps_equal(serial, parallel)
 
     @pytest.mark.parametrize("chunk_size", [1, 2, 100])
@@ -102,8 +111,7 @@ class TestSerialParallelEquivalence:
             [1.0, 2.0, 3.0],
             runs=2,
             label="chunk",
-            jobs=3,
-            chunk_size=chunk_size,
+            executor=PoolExecutor(3, chunk_size=chunk_size),
         )
         _sweeps_equal(serial, parallel)
 
@@ -116,15 +124,16 @@ class TestSerialParallelEquivalence:
             [1.0, 2.0],
             runs=2,
             label="spawn",
-            jobs=2,
-            start_method="spawn",
+            executor=PoolExecutor(2, start_method="spawn"),
         )
         _sweeps_equal(serial, parallel)
 
     def test_duplicate_grid_points_reuse_seeds(self):
         # The documented label-collision caveat, at its smallest: the
         # same point twice in one grid gets identical seeds cell-for-cell.
-        result = run_sweep(_poly, [1.0, 1.0], runs=2, label="dup", jobs=2)
+        result = run_sweep(
+            _poly, [1.0, 1.0], runs=2, label="dup", executor="pool:2"
+        )
         assert result.means["m"][0] == result.means["m"][1]
 
 
@@ -146,8 +155,7 @@ class TestWorkerErrors:
                 [1.0, 2.0],
                 runs=2,
                 label="err",
-                jobs=2,
-                chunk_size=1,
+                executor=PoolExecutor(2, chunk_size=1),
             )
         message = str(excinfo.value)
         assert "point=2.0" in message
@@ -166,8 +174,7 @@ class TestWorkerErrors:
                     [2.0, 1.0],
                     runs=2,
                     label="err",
-                    jobs=2,
-                    chunk_size=1,
+                    executor=PoolExecutor(2, chunk_size=1),
                 )
             assert "run=0" in str(excinfo.value)
 
@@ -176,7 +183,11 @@ class TestWorkerErrors:
         # cell, not abort the pool with an opaque MaybeEncodingError.
         with pytest.raises(SweepWorkerError) as excinfo:
             run_sweep(
-                _unpicklable_result, [1.0, 2.0], runs=2, label="pkl", jobs=2
+                _unpicklable_result,
+                [1.0, 2.0],
+                runs=2,
+                label="pkl",
+                executor="pool:2",
             )
         message = str(excinfo.value)
         assert "point=1.0" in message
@@ -184,22 +195,65 @@ class TestWorkerErrors:
 
     def test_lambda_rejected_for_parallel(self):
         with pytest.raises(ConfigError, match="picklable"):
-            run_sweep(lambda p, s: {"y": 0.0}, [1.0, 2.0], runs=2, jobs=2)
+            run_sweep(
+                lambda p, s: {"y": 0.0}, [1.0, 2.0], runs=2, executor="pool:2"
+            )
 
     def test_single_cell_sweep_runs_in_process(self):
-        # One cell never pays for a pool — jobs>1 degrades to the serial
-        # path, so even unpicklable run functions work.
-        result = run_sweep(lambda p, s: {"y": p}, [1.0], runs=1, jobs=4)
+        # One cell never pays for a pool — parallel executors degrade to
+        # the serial path, so even unpicklable run functions work.
+        result = run_sweep(
+            lambda p, s: {"y": p}, [1.0], runs=1, executor="pool:4"
+        )
         assert result.means["y"] == [1.0]
 
     def test_jobs_validation(self):
         with pytest.raises(ConfigError):
-            run_sweep(_poly, [1.0], runs=1, jobs=0)
+            run_sweep(_poly, [1.0], runs=1, executor="pool:0")
 
     @pytest.mark.parametrize("bad", [0, -1])
     def test_chunk_size_validation(self, bad):
         with pytest.raises(ConfigError, match="chunk_size"):
-            run_sweep(_poly, [1.0, 2.0], runs=2, jobs=2, chunk_size=bad)
+            PoolExecutor(2, chunk_size=bad)
+
+
+class TestLegacyKeywordShims:
+    """The pre-executor ``jobs``/``chunk_size``/``start_method`` API."""
+
+    def test_jobs_keyword_warns_and_matches_executor(self):
+        serial = run_sweep(_poly, [1.0, 2.0], runs=2, label="shim")
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = run_sweep(_poly, [1.0, 2.0], runs=2, label="shim", jobs=2)
+        _sweeps_equal(serial, legacy)
+
+    def test_chunk_size_keyword_warns(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_sweep(
+                _poly, [1.0, 2.0], runs=2, label="shim", jobs=2, chunk_size=1
+            )
+        _sweeps_equal(run_sweep(_poly, [1.0, 2.0], runs=2, label="shim"), legacy)
+
+    def test_jobs_one_warns_but_stays_serial(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_sweep(
+                lambda p, s: {"y": p}, [1.0, 2.0], runs=1, label="shim1", jobs=1
+            )
+        assert legacy.means["y"] == [1.0, 2.0]
+
+    def test_executor_and_jobs_conflict(self):
+        with pytest.raises(ConfigError, match="not both"):
+            run_sweep(_poly, [1.0], runs=1, executor="serial", jobs=2)
+
+    def test_run_cells_jobs_keyword_warns(self):
+        cells = [SweepCell(arg=x, seed_name=f"shim/{x}") for x in (1.0, 2.0)]
+        with pytest.warns(DeprecationWarning):
+            legacy = run_cells(_poly, cells, jobs=2)
+        assert legacy == run_cells(_poly, cells)
+
+    def test_legacy_jobs_validation(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                run_sweep(_poly, [1.0], runs=1, jobs=0)
 
 
 class TestProgress:
@@ -223,8 +277,7 @@ class TestProgress:
             [1.0, 2.0, 3.0],
             runs=2,
             label="prog",
-            jobs=2,
-            chunk_size=1,
+            executor=PoolExecutor(2, chunk_size=1),
             progress=lambda point, done, total: seen.append(
                 (point, done, total)
             ),
@@ -242,7 +295,9 @@ class TestRunCells:
             SweepCell(arg=x, seed_name=f"cells/{x}") for x in (3.0, 1.0, 2.0)
         ]
         serial = run_cells(_poly, cells)
-        parallel = run_cells(_poly, cells, jobs=3, chunk_size=1)
+        parallel = run_cells(
+            _poly, cells, executor=PoolExecutor(3, chunk_size=1)
+        )
         assert serial == parallel
         assert [s["m"] for s in serial] == [
             (derive_seed(0, f"cells/{x}") % 9973) * x for x in (3.0, 1.0, 2.0)
@@ -253,11 +308,11 @@ class TestRunCells:
         one = run_cells(_poly, cells, master_seed=1)
         two = run_cells(_poly, cells, master_seed=2)
         assert one != two
-        assert one == run_cells(_poly, cells, master_seed=1, jobs=1)
+        assert one == run_cells(_poly, cells, master_seed=1, executor="serial")
 
     def test_empty_cells(self):
         assert run_cells(_poly, []) == []
-        assert run_cells(_poly, [], jobs=4) == []
+        assert run_cells(_poly, [], executor="pool:4") == []
 
 
 class TestGridValidation:
