@@ -10,6 +10,9 @@ Usage (installed as ``damulticast``, or ``python -m repro``)::
     damulticast tuning --pit 0.9995 # Appendix feasibility/z-bounds
     damulticast ablate-g / ablate-c # tuning-knob sweeps
 
+    damulticast serve --topics .conf:5 .conf.dsn:10 \\
+        --publish 20 --verify-replay     # live pub/sub service mode
+
     damulticast scenario list                        # bundled presets
     damulticast scenario run paper-vii --executor pool:2    # run a preset
     damulticast scenario run SPEC.json --runs 5      # run a spec file
@@ -416,6 +419,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--names", action="store_true", help="print bare preset names only"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="live asyncio pub/sub service mode (wall-clock runtime)",
+        description=(
+            "Run the protocol as a live pub/sub service on an asyncio "
+            "event loop: build the requested topic groups, publish a "
+            "deterministic round-robin workload over the in-process "
+            "queue transport, and report per-topic delivery counts, "
+            "network statistics and scheduler lag. With --verify-replay "
+            "the recorded trace is re-executed on the discrete-event "
+            "engine and the delivery sets are compared (the service "
+            "mode's golden oracle)."
+        ),
+    )
+    serve.add_argument(
+        "--topics",
+        nargs="+",
+        default=[".conf:5", ".conf.dsn:10"],
+        metavar="TOPIC:COUNT",
+        help="topic groups to create, e.g. .conf:5 .conf.dsn:10",
+    )
+    serve.add_argument(
+        "--publish",
+        type=int,
+        default=10,
+        help="events to publish (round-robin over the topics)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="master seed")
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="abort the service run after this many wall-clock seconds",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the replayable live trace as JSON",
+    )
+    serve.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help=(
+            "replay the recorded trace on the deterministic engine and "
+            "fail (exit 1) unless the delivery sets match"
+        ),
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the determinism lint (rules DET001-DET005)",
@@ -690,6 +742,76 @@ def _run_tuning_command(args: argparse.Namespace) -> Table:
     return table
 
 
+def _parse_topic_counts(pairs: Sequence[str]) -> list[tuple[str, int]]:
+    """Parse ``TOPIC:COUNT`` arguments (e.g. ``.conf:5``)."""
+    topics: list[tuple[str, int]] = []
+    for pair in pairs:
+        name, sep, raw = pair.rpartition(":")
+        if not sep or not name:
+            raise ConfigError(f"--topics expects TOPIC:COUNT, got {pair!r}")
+        try:
+            count = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"--topics count must be an integer, got {pair!r}"
+            ) from None
+        if count < 1:
+            raise ConfigError(f"--topics count must be >= 1, got {pair!r}")
+        topics.append((name, count))
+    return topics
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import LiveRuntime, replay_live_trace
+
+    topics = _parse_topic_counts(args.topics)
+    if args.publish < 0:
+        raise ConfigError(f"--publish must be >= 0, got {args.publish}")
+
+    async def serve():
+        runtime = LiveRuntime(seed=args.seed)
+        for name, count in topics:
+            runtime.add_group(name, count)
+        async with runtime:
+            for index in range(args.publish):
+                topic = topics[index % len(topics)][0]
+                await runtime.publish(topic, {"n": index})
+            status = runtime.status()
+        return runtime.trace(), status
+
+    async def bounded():
+        return await asyncio.wait_for(serve(), timeout=args.timeout)
+
+    trace, status = asyncio.run(bounded())
+
+    table = Table(
+        f"live service (seed={args.seed}, published={status['published']}, "
+        f"wall={status['now']:.3f}s)",
+        ["topic", "deliveries"],
+    )
+    for name, delivered in sorted(status["deliveries_by_topic"].items()):
+        table.add_row(name, delivered)
+    print(table.render())
+    queue = status["queue"]
+    lag = status["scheduler_lag"]
+    print(
+        f"queue: {queue['executed']}/{queue['dispatched']} deliveries "
+        f"executed, {queue['pending']} pending; "
+        f"scheduler lag max {lag['max'] * 1e3:.3f} ms"
+    )
+    if args.trace_out:
+        _write_payload(args.trace_out, trace)
+    if args.verify_replay:
+        result = replay_live_trace(trace)
+        verdict = "match" if result["matches"] else "MISMATCH"
+        print(f"engine replay: delivery sets {verdict}")
+        if not result["matches"]:
+            return 1
+    return 0
+
+
 def _run_lint_command(args: argparse.Namespace) -> int:
     from repro.lint import render_json, render_text, run_lint
 
@@ -724,6 +846,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint_command(args)
+    if args.command == "serve":
+        try:
+            return _run_serve_command(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "scenario":
         executor = None
         try:

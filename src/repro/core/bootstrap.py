@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 
 from repro.membership.view import ProcessDescriptor
 from repro.net.message import AnsContact, ReqContact
-from repro.sim.engine import PeriodicTask
+from repro.sim.clock import PeriodicTask
 from repro.topics.topic import Topic
 from repro.validation import check_positive
 

@@ -23,7 +23,7 @@ import itertools
 from typing import TYPE_CHECKING
 
 from repro.net.message import NewProcessReply, NewProcessRequest, Ping
-from repro.sim.engine import PeriodicTask
+from repro.sim.clock import PeriodicTask
 from repro.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

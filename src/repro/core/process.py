@@ -45,7 +45,7 @@ from repro.net.message import (
     ReqContact,
 )
 from repro.net.network import Network
-from repro.sim.engine import Engine
+from repro.sim.clock import Clock
 from repro.topics.topic import Topic
 
 DeliveryCallback = Callable[["DaMulticastProcess", Event], None]
@@ -77,7 +77,7 @@ class DaMulticastProcess:
         topic: Topic,
         config: DaMulticastConfig,
         *,
-        engine: Engine,
+        engine: Clock,
         network: Network,
         rng: random.Random,
         overlay: BootstrapOverlay | None = None,

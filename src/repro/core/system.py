@@ -64,12 +64,16 @@ class DaMulticastSystem:
         overlay_degree: int = 5,
         trace: bool = False,
         delivery_callback: DeliveryCallback | None = None,
+        harness: SimulationHarness | None = None,
     ):
         if mode not in ("static", "dynamic"):
             raise ConfigError(f"mode must be 'static' or 'dynamic', got {mode!r}")
         self.config = config or DaMulticastConfig()
         self.mode = mode
-        self.harness = SimulationHarness(
+        # A pre-built harness (e.g. the live runtime's wall-clock one) is
+        # adopted as-is; the seed/p_success/latency/... knobs then belong
+        # to whoever built it.
+        self.harness = harness if harness is not None else SimulationHarness(
             seed=seed,
             p_success=p_success,
             latency=latency,

@@ -36,7 +36,7 @@ from typing import Callable
 from repro.errors import ConfigError
 from repro.membership.view import PartialView, ProcessDescriptor
 from repro.net.message import JoinRequest, MembershipGossip, Message
-from repro.sim.engine import Engine, PeriodicTask
+from repro.sim.clock import Clock, PeriodicTask
 from repro.topics.topic import Topic
 
 SendFn = Callable[[int, Message], None]
@@ -116,7 +116,7 @@ class FlatMembership:
         owner: ProcessDescriptor,
         group: Topic,
         config: FlatMembershipConfig,
-        engine: Engine,
+        engine: Clock,
         rng: random.Random,
         send: SendFn,
         *,

@@ -94,7 +94,8 @@ from repro.net.stats import (
     FAULT_LOSS,
     NetworkStats,
 )
-from repro.sim.engine import Engine
+from repro.net.transport import EngineTransport, Transport
+from repro.sim.clock import Clock
 from repro.sim.trace import TraceLog
 
 
@@ -126,11 +127,18 @@ class BlockActor(Protocol):
 
 
 class Network:
-    """Best-effort message transport over the simulation engine."""
+    """Best-effort message transport over a clock and delivery transport.
+
+    ``clock`` supplies timestamps for the sender-side pipeline;
+    ``transport`` executes the surviving deliveries. The default
+    transport dispatches onto the clock's own ``schedule_apply`` (the
+    discrete-event heap) — the historical behavior, bit-for-bit; the live
+    runtime passes a :class:`~repro.net.transport.QueueTransport` instead.
+    """
 
     def __init__(
         self,
-        engine: Engine,
+        clock: Clock,
         rng: random.Random,
         *,
         p_success: float = 1.0,
@@ -141,10 +149,14 @@ class Network:
         trace: TraceLog | None = None,
         faults: LinkFaultModel | None = None,
         fault_rng: random.Random | None = None,
+        transport: Transport | None = None,
     ):
         if not 0.0 <= p_success <= 1.0:
             raise ConfigError(f"p_success must be in [0,1], got {p_success}")
-        self._engine = engine
+        self._clock = clock
+        self._transport: Transport = (
+            EngineTransport(clock) if transport is None else transport
+        )
         self._rng = rng
         self.p_success = p_success
         self.latency = latency  # property: also caches the sample_link hook
@@ -159,6 +171,18 @@ class Network:
         self._block_starts: list[int] = []
         #: last resolved block — fan-outs target one group, so this hits
         self._block_cache: tuple[int, int, BlockActor] | None = None
+        #: sorted pid tuple, rebuilt lazily after registrations
+        self._pids_cache: tuple[int, ...] | None = None
+
+    @property
+    def clock(self) -> Clock:
+        """The time source timestamps are read from."""
+        return self._clock
+
+    @property
+    def transport(self) -> Transport:
+        """The delivery transport surviving messages dispatch through."""
+        return self._transport
 
     # ------------------------------------------------------------------
     # Latency (the per-link hook is resolved once per model, not per send)
@@ -226,6 +250,7 @@ class Network:
         if pid in self._actors or self._block_for(pid) is not None:
             raise ConfigError(f"process id {pid} is already registered")
         self._actors[pid] = actor
+        self._pids_cache = None
 
     def register_block(self, actor: BlockActor, start: int, stop: int) -> None:
         """Attach one block actor covering the pid range ``[start, stop)``.
@@ -250,6 +275,7 @@ class Network:
         self._blocks.sort(key=lambda block: block[0])
         self._block_starts = [block[0] for block in self._blocks]
         self._block_cache = None
+        self._pids_cache = None
 
     def _block_for(self, pid: int) -> BlockActor | None:
         """The block actor owning ``pid``, or None."""
@@ -286,24 +312,51 @@ class Network:
             stop - start for start, stop, _ in self._blocks
         )
 
+    def pid_view(self) -> tuple[int, ...]:
+        """All registered process ids, sorted, as a shared immutable view.
+
+        The tuple is built once per registration epoch and reused until the
+        next ``register``/``register_block`` invalidates it — callers that
+        only iterate (membership refresh, alive-set scans, metrics sweeps)
+        skip the per-call list rebuild entirely. Iteration order is the
+        same sorted order :attr:`pids` always produced, so RNG draw order
+        at every call site is unchanged.
+        """
+        cached = self._pids_cache
+        if cached is None:
+            pids = list(self._actors)
+            for start, stop, _ in self._blocks:
+                pids.extend(range(start, stop))
+            pids.sort()
+            cached = self._pids_cache = tuple(pids)
+        return cached
+
     @property
     def pids(self) -> list[int]:
-        """All registered process ids, sorted."""
-        pids = list(self._actors)
-        for start, stop, _ in self._blocks:
-            pids.extend(range(start, stop))
-        return sorted(pids)
+        """All registered process ids, sorted (a fresh mutable copy; use
+        :meth:`pid_view` to iterate without the copy)."""
+        return list(self.pid_view())
 
     # ------------------------------------------------------------------
     # Liveness (convenience passthroughs used by protocols & metrics)
     # ------------------------------------------------------------------
     def is_alive(self, pid: int) -> bool:
         """Ground-truth liveness of ``pid`` right now."""
-        return self.failure_model.is_alive(pid, self._engine.now)
+        return self.failure_model.is_alive(pid, self._clock.now)
 
     def alive_pids(self) -> list[int]:
-        """All currently alive registered pids, sorted."""
-        return [pid for pid in self.pids if self.is_alive(pid)]
+        """All currently alive registered pids, sorted.
+
+        Iterates the cached :meth:`pid_view` — same pids, same sorted
+        order, same per-pid liveness queries as the historical
+        list-rebuilding version, so trajectories are bit-identical.
+        """
+        failure_model = self.failure_model
+        now = self._clock.now
+        return [
+            pid for pid in self.pid_view()
+            if failure_model.is_alive(pid, now)
+        ]
 
     # ------------------------------------------------------------------
     # Transmission
@@ -317,7 +370,7 @@ class Network:
         """
         if target not in self:
             raise UnknownActor(f"no actor registered with pid {target}")
-        now = self._engine.now
+        now = self._clock.now
         self.stats.record_sent(message)
         self.trace.record(now, "net.sent", sender, target, message_kind=message.kind)
 
@@ -364,14 +417,14 @@ class Network:
                         now, "net.fault", sender, target,
                         message_kind=message.kind, reason=FAULT_DUPLICATE,
                     )
-                self._engine.schedule_apply(
+                self._transport.dispatch(
                     delay,
                     self._deliver_batch,
                     (sender, (target,) * copies, message),
                     count=copies,
                 )
                 return True
-        self._engine.schedule_apply(delay, self._deliver, (sender, target, message))
+        self._transport.dispatch(delay, self._deliver, (sender, target, message))
         return True
 
     def multicast(
@@ -400,8 +453,7 @@ class Network:
                     raise UnknownActor(
                         f"no actor registered with pid {target}"
                     )
-        engine = self._engine
-        now = engine.now
+        now = self._clock.now
         stats = self.stats
         trace = self.trace
         tracing = trace.enabled
@@ -521,11 +573,12 @@ class Network:
         # destination (with zero latency — the dominant case — the whole
         # fan-out lands in the engine's FIFO bucket).
         scheduled = 0
+        dispatch = self._transport.dispatch
         deliver_batch = self._deliver_batch
         # repro-lint: allow[DET003]: batches is keyed by latency class in first-occurrence order; sorting would reorder same-time deliveries and break bit-identity
         for delay, batch in batches.items():
             scheduled += len(batch)
-            engine.schedule_apply(
+            dispatch(
                 delay,
                 deliver_batch,
                 (sender, tuple(batch), message),
@@ -534,7 +587,7 @@ class Network:
         return scheduled
 
     def _deliver(self, sender: int, target: int, message: Message) -> None:
-        now = self._engine.now
+        now = self._clock.now
         if not self.failure_model.is_alive(target, now):
             self._drop(message, sender, target, DROP_DEAD_TARGET)
             return
@@ -555,7 +608,7 @@ class Network:
         delivery timestamp, then live targets receive the message in
         order; statistics are recorded in bulk.
         """
-        now = self._engine.now
+        now = self._clock.now
         failure_model = self.failure_model
         stats = self.stats
         trace = self.trace
@@ -624,7 +677,7 @@ class Network:
     def _drop(self, message: Message, sender: int, target: int, reason: str) -> None:
         self.stats.record_dropped(message, reason)
         self.trace.record(
-            self._engine.now, "net.dropped", sender, target,
+            self._clock.now, "net.dropped", sender, target,
             message_kind=message.kind, reason=reason,
         )
 

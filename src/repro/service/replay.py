@@ -1,0 +1,85 @@
+"""Replay a live-service trace on the deterministic engine.
+
+The golden-compare contract of service mode: the discrete-event
+:class:`~repro.sim.engine.Engine` remains the *test oracle* for live
+runs. :func:`replay_live_trace` rebuilds the recorded topology with the
+recorded seed, re-publishes every recorded event pinned to its recorded
+publisher, and drives the engine to quiescence after each publish —
+mirroring the live runtime's drain-between-publishes discipline. Both
+executions then made identical draws on every shared RNG stream (the
+live side's only extra decision, publisher choice, came from its own
+``"live/publish"`` stream), so the per-topic delivery sets must match
+exactly. ``tests/test_service_live.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.params import DaMulticastConfig
+from repro.core.system import DaMulticastSystem
+from repro.errors import ConfigError
+from repro.net.latency import LatencyModel, ZERO_LATENCY
+
+
+def delivery_sets_from_trace(trace: Mapping[str, Any]) -> dict[str, list[int]]:
+    """The recorded per-event delivery sets, normalized (sorted pids)."""
+    return {
+        key: sorted(pids) for key, pids in trace["deliveries"].items()
+    }
+
+
+def replay_live_trace(
+    trace: Mapping[str, Any],
+    *,
+    config: DaMulticastConfig | None = None,
+    latency: LatencyModel = ZERO_LATENCY,
+) -> dict[str, Any]:
+    """Re-execute a :meth:`~repro.service.runtime.LiveRuntime.trace` on
+    virtual time and return the engine-side delivery sets.
+
+    Returns ``{"system": ..., "deliveries": {event_id_str: [pid, ...]},
+    "matches": bool}`` where ``matches`` compares against the trace's own
+    recorded sets. Non-default ``config``/``latency`` used live must be
+    passed again here — models are code, not data, so the trace does not
+    serialize them.
+    """
+    version = trace.get("version")
+    if version != 1:
+        raise ConfigError(f"unsupported live trace version: {version!r}")
+    if trace["mode"] != "static":
+        raise ConfigError(
+            "only static-mode traces are replayable (dynamic-mode "
+            "membership depends on wall-clock task interleaving)"
+        )
+    system = DaMulticastSystem(
+        config=config,
+        seed=trace["seed"],
+        mode="static",
+        p_success=trace.get("p_success", 1.0),
+        latency=latency,
+    )
+    for name, count in trace["topics"]:
+        system.add_group(name, count)
+    system.finalize_static_membership()
+
+    deliveries: dict[str, list[int]] = {}
+    for record in trace["publishes"]:
+        publisher = system.process(record["publisher"])
+        event = system.publish(
+            record["topic"], record["payload"], publisher=publisher
+        )
+        if str(event.event_id) != record["event"]:
+            raise ConfigError(
+                f"replay diverged: published {event.event_id}, "
+                f"trace recorded {record['event']}"
+            )
+        system.run_until_idle()
+        receivers = system.tracker.receivers(event.event_id)
+        deliveries[str(event.event_id)] = sorted(receivers)
+
+    return {
+        "system": system,
+        "deliveries": deliveries,
+        "matches": deliveries == delivery_sets_from_trace(trace),
+    }

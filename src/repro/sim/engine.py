@@ -36,7 +36,9 @@ from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.errors import SchedulingError, SimulationError
-from repro.validation import check_positive
+from repro.sim.clock import Clock, Handle, PeriodicTask
+
+__all__ = ["Clock", "Engine", "EventHandle", "Handle", "PeriodicTask"]
 
 
 class EventHandle:
@@ -106,64 +108,13 @@ class EventHandle:
         return not self._cancelled and not self._fired
 
 
-class PeriodicTask:
-    """A callback re-scheduled every ``interval`` time units.
-
-    Models the paper's repeatedly-executed tasks (Fig. 6's
-    KEEP_TABLE_UPDATED, Fig. 4's FIND_SUPER_CONTACT timeout loop). The task
-    stops when :meth:`stop` is called or when the callback returns ``False``.
-    """
-
-    def __init__(
-        self,
-        engine: "Engine",
-        interval: float,
-        callback: Callable[[], Any],
-        *,
-        initial_delay: float | None = None,
-        max_firings: int | None = None,
-    ):
-        check_positive(interval, "interval", error=SchedulingError)
-        self._engine = engine
-        self._interval = interval
-        self._callback = callback
-        self._max_firings = max_firings
-        self._firings = 0
-        self._stopped = False
-        delay = interval if initial_delay is None else initial_delay
-        self._handle = engine.schedule(delay, self._fire)
-
-    @property
-    def firings(self) -> int:
-        """How many times the callback has run."""
-        return self._firings
-
-    @property
-    def running(self) -> bool:
-        """Whether the task is still scheduled."""
-        return not self._stopped
-
-    def stop(self) -> None:
-        """Cancel future firings."""
-        self._stopped = True
-        self._handle.cancel()
-
-    def _fire(self) -> None:
-        if self._stopped:
-            return
-        self._firings += 1
-        result = self._callback()
-        reached_limit = (
-            self._max_firings is not None and self._firings >= self._max_firings
-        )
-        if result is False or reached_limit or self._stopped:
-            self._stopped = True
-            return
-        self._handle = self._engine.schedule(self._interval, self._fire)
-
-
 class Engine:
-    """Deterministic discrete-event scheduler.
+    """Deterministic discrete-event scheduler — the virtual-time oracle.
+
+    Implements the :class:`repro.sim.clock.Clock` protocol (plus the
+    engine-only batch/apply scheduling and event accounting below), so the
+    protocol core written against :class:`Clock` runs here deterministically
+    and on the live wall-clock runtime unchanged.
 
     >>> engine = Engine()
     >>> seen = []

@@ -39,6 +39,10 @@ STREAM_REGISTRY: Mapping[str, tuple[str, ...]] = {
         "overlay",
         "contacts",
         "publish",
+        # live-service publisher choice: a dedicated stream so the live
+        # runtime's only extra decision never shifts the shared streams
+        # (replay pins publishers instead of re-drawing)
+        "live/publish",
         "static-membership",
         "process/{pid}",
         "mp-process/{pid}",

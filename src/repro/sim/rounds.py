@@ -18,18 +18,23 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ConfigError
-from repro.sim.engine import Engine, PeriodicTask
+from repro.sim.clock import Clock, PeriodicTask
 from repro.validation import check_positive
 
 RoundCallback = Callable[[int], None]
 
 
 class RoundScheduler:
-    """Fires per-round callbacks and tracks the round counter."""
+    """Fires per-round callbacks and tracks the round counter.
+
+    Ticking works on any :class:`~repro.sim.clock.Clock`;
+    :meth:`run_rounds` additionally drives the clock and therefore needs
+    a discrete-event :class:`~repro.sim.engine.Engine`.
+    """
 
     def __init__(
         self,
-        engine: Engine,
+        engine: Clock,
         *,
         round_length: float = 1.0,
         max_rounds: int | None = None,
@@ -86,7 +91,13 @@ class RoundScheduler:
         self.start()
         target = self.current_round + count
         horizon = (target + 0.5) * self.round_length
-        self._engine.run(until=horizon)
+        runner = getattr(self._engine, "run", None)
+        if runner is None:
+            raise ConfigError(
+                f"{type(self._engine).__name__} cannot be driven with "
+                "run_rounds(); only a discrete-event Engine clock supports it"
+            )
+        runner(until=horizon)
         return self.current_round
 
     def __repr__(self) -> str:

@@ -1,0 +1,331 @@
+"""The transport seam: EngineTransport vs QueueTransport equivalence.
+
+The refactor's contract: the network's sender-side pipeline (and hence
+every RNG draw) is transport-independent, and the two transports execute
+the surviving deliveries in the same order — heap ``(time, seq)`` on the
+engine, ``(due, enqueue order)`` in the queue. The equivalence tests
+drive identical workloads through both and require bit-identical results
+including the network RNG's final state.
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SchedulingError
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.message import Message, Ping
+from repro.net.network import Network
+from repro.net.transport import (
+    EngineTransport,
+    QueueTransport,
+    QueuedDelivery,
+    Transport,
+)
+from repro.sim.engine import Engine
+
+
+class Recorder:
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.inbox: list[Message] = []
+
+    def handle_message(self, message: Message) -> None:
+        self.inbox.append(message)
+
+
+class TickClock:
+    """Minimal manual clock for transport unit tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestEngineTransport:
+    def test_default_transport_is_engine_transport(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        assert isinstance(net.transport, EngineTransport)
+        assert net.transport.scheduler is engine
+        assert isinstance(net.transport, Transport)
+
+    def test_rejects_plain_clocks(self):
+        with pytest.raises(SchedulingError):
+            EngineTransport(TickClock())
+
+    def test_dispatch_lands_on_engine(self):
+        engine = Engine()
+        transport = EngineTransport(engine)
+        seen = []
+        transport.dispatch(1.5, seen.append, ("x",))
+        assert engine.pending == 1
+        engine.run_until_idle()
+        assert seen == ["x"]
+
+
+class TestQueueTransport:
+    def test_dispatch_and_pump_fifo(self):
+        clock = TickClock()
+        transport = QueueTransport(clock)
+        seen = []
+        transport.dispatch(0.0, seen.append, (1,))
+        transport.dispatch(0.0, seen.append, (2,))
+        transport.dispatch(0.0, seen.append, (3,))
+        assert transport.pending == 3
+        assert transport.next_due() == 0.0
+        assert transport.pump() == 3
+        assert seen == [1, 2, 3]
+        assert transport.pending == 0
+        assert transport.next_due() is None
+        assert transport.executed == 3
+
+    def test_due_ordering_over_enqueue_ordering(self):
+        clock = TickClock()
+        transport = QueueTransport(clock)
+        seen = []
+        transport.dispatch(2.0, seen.append, ("late",))
+        transport.dispatch(1.0, seen.append, ("early",))
+        clock.now = 5.0
+        transport.pump()
+        assert seen == ["early", "late"]
+
+    def test_pump_horizon_leaves_future_entries(self):
+        clock = TickClock()
+        transport = QueueTransport(clock)
+        seen = []
+        transport.dispatch(0.0, seen.append, ("now",))
+        transport.dispatch(3.0, seen.append, ("later",))
+        assert transport.pump() == 1
+        assert seen == ["now"]
+        assert transport.pending == 1
+        assert transport.next_due() == 3.0
+
+    def test_cascade_joins_same_pump(self):
+        clock = TickClock()
+        transport = QueueTransport(clock)
+        seen = []
+
+        def first():
+            seen.append("first")
+            transport.dispatch(0.0, lambda: seen.append("cascade"), ())
+
+        transport.dispatch(0.0, first, ())
+        assert transport.pump() == 2
+        assert seen == ["first", "cascade"]
+
+    def test_cancel_drops_delivery(self):
+        clock = TickClock()
+        transport = QueueTransport(clock)
+        seen = []
+        handle = transport.dispatch(0.0, seen.append, (1,))
+        assert isinstance(handle, QueuedDelivery)
+        assert handle.pending
+        handle.cancel()
+        assert handle.cancelled and not handle.pending
+        assert transport.pending == 0
+        assert transport.next_due() is None
+        assert transport.pump() == 0
+        assert seen == []
+        handle.cancel()  # idempotent
+
+    def test_count_accounting(self):
+        clock = TickClock()
+        transport = QueueTransport(clock)
+        transport.dispatch(0.0, lambda a, b: None, (1, 2), count=5)
+        assert transport.dispatched == 5
+        assert transport.pending == 5
+        assert transport.pump() == 5
+        assert transport.executed == 5
+
+    def test_nan_and_negative_delay_rejected(self):
+        transport = QueueTransport(TickClock())
+        with pytest.raises(SchedulingError):
+            transport.dispatch(float("nan"), lambda: None, ())
+        with pytest.raises(SchedulingError):
+            transport.dispatch(-1.0, lambda: None, ())
+
+    def test_on_enqueue_fires_per_dispatch(self):
+        woken = []
+        transport = QueueTransport(TickClock(), on_enqueue=lambda: woken.append(1))
+        transport.dispatch(0.0, lambda: None, ())
+        transport.dispatch(0.0, lambda: None, ())
+        assert woken == [1, 1]
+
+    def test_on_virtual_engine_clock(self):
+        """A QueueTransport can ride an Engine as its time source."""
+        engine = Engine()
+        transport = QueueTransport(engine)
+        seen = []
+        transport.dispatch(0.0, seen.append, ("a",))
+        transport.pump()
+        assert seen == ["a"]
+
+
+def _run_workload(transport_factory, *, seed, p_success, latency, sends):
+    """Drive one deterministic workload and snapshot everything observable."""
+    engine = Engine()
+    rng = random.Random(seed)
+    transport = transport_factory(engine)
+    net = Network(
+        engine,
+        rng,
+        p_success=p_success,
+        latency=latency,
+        transport=transport,
+    )
+    actors = [Recorder(i) for i in range(6)]
+    for actor in actors:
+        net.register(actor)
+    for index, (kind, sender, targets) in enumerate(sends):
+        if kind == "send":
+            net.send(sender, targets[0], Ping(sender=sender, nonce=index))
+        else:
+            net.multicast(sender, targets, Ping(sender=sender, nonce=index))
+        # Drain between operations — mirrors the live runtime's
+        # publish-then-drain discipline the equivalence argument rests on.
+        if isinstance(transport, QueueTransport):
+            while transport.next_due() is not None:
+                transport.pump(transport.next_due())
+        else:
+            engine.run_until_idle()
+    inboxes = [
+        [(m.sender, m.nonce) for m in actor.inbox] for actor in actors
+    ]
+    return inboxes, rng.getstate(), net.stats.as_dict()
+
+
+WORKLOAD = [
+    ("multicast", 0, (1, 2, 3, 4, 5)),
+    ("send", 1, (0,)),
+    ("multicast", 2, (0, 1, 3)),
+    ("multicast", 3, (0, 1, 2, 4, 5)),
+    ("send", 4, (2,)),
+    ("multicast", 5, (0, 4)),
+]
+
+
+class TestTransportEquivalence:
+    @pytest.mark.parametrize("p_success", [1.0, 0.85, 0.5])
+    def test_queue_matches_engine_bit_identically(self, p_success):
+        """Same workload, same seed → same inboxes, same RNG state, same
+        stats on both transports (zero latency: the replay-oracle case)."""
+        from repro.net.latency import ZERO_LATENCY
+
+        engine_run = _run_workload(
+            EngineTransport,
+            seed=7,
+            p_success=p_success,
+            latency=ZERO_LATENCY,
+            sends=WORKLOAD,
+        )
+        queue_run = _run_workload(
+            QueueTransport,
+            seed=7,
+            p_success=p_success,
+            latency=ZERO_LATENCY,
+            sends=WORKLOAD,
+        )
+        assert engine_run == queue_run
+
+    def test_queue_matches_engine_with_latency_classes(self):
+        """Nonzero sampled latencies: deliveries split into latency-class
+        batches; the queue's (due, seq) order must match the engine's."""
+        engine_run = _run_workload(
+            EngineTransport,
+            seed=11,
+            p_success=0.9,
+            latency=UniformLatency(0.1, 2.0),
+            sends=WORKLOAD,
+        )
+        queue_run = _run_workload(
+            QueueTransport,
+            seed=11,
+            p_success=0.9,
+            latency=UniformLatency(0.1, 2.0),
+            sends=WORKLOAD,
+        )
+        assert engine_run == queue_run
+
+    @given(
+        seed=st.integers(0, 2**16),
+        p_success=st.floats(0.3, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_property(self, seed, p_success):
+        latency = ConstantLatency(0.5)
+        engine_run = _run_workload(
+            EngineTransport,
+            seed=seed,
+            p_success=p_success,
+            latency=latency,
+            sends=WORKLOAD,
+        )
+        queue_run = _run_workload(
+            QueueTransport,
+            seed=seed,
+            p_success=p_success,
+            latency=latency,
+            sends=WORKLOAD,
+        )
+        assert engine_run == queue_run
+
+
+class TestPidCaching:
+    def test_pids_stay_a_sorted_list(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        for pid in (3, 1, 2):
+            net.register(Recorder(pid))
+        assert net.pids == [1, 2, 3]
+        assert isinstance(net.pids, list)
+
+    def test_pid_view_is_cached_until_registration(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        net.register(Recorder(0))
+        first = net.pid_view()
+        assert first == (0,)
+        assert net.pid_view() is first  # cached, no rebuild
+        net.register(Recorder(1))
+        second = net.pid_view()
+        assert second == (0, 1)
+        assert second is not first
+
+    def test_pids_copy_is_independent(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        net.register(Recorder(0))
+        pids = net.pids
+        pids.append(99)
+        assert net.pids == [0]
+        assert net.pid_view() == (0,)
+
+    def test_alive_pids_matches_rebuild_semantics(self):
+        from repro.failures import StillbornFailures
+
+        engine = Engine()
+        net = Network(
+            engine,
+            random.Random(0),
+            failure_model=StillbornFailures([1, 4]),
+        )
+        for pid in range(6):
+            net.register(Recorder(pid))
+        expected = [pid for pid in net.pids if net.is_alive(pid)]
+        assert net.alive_pids() == expected
+
+    def test_block_registration_invalidates_cache(self):
+        engine = Engine()
+        net = Network(engine, random.Random(0))
+        net.register(Recorder(0))
+        assert net.pid_view() == (0,)
+
+        class Block:
+            def handle_batch(self, sender, targets, message):
+                pass
+
+        net.register_block(Block(), 10, 13)
+        assert net.pid_view() == (0, 10, 11, 12)
+        assert net.pids == [0, 10, 11, 12]

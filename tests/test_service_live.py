@@ -1,0 +1,245 @@
+"""Live service mode: pub/sub API, status surface and the replay oracle.
+
+The golden-compare contract (the tentpole's acceptance criterion): a
+recorded live trace replayed through the discrete-event engine yields
+*identical* per-topic delivery sets. The live runtime's wall-clock
+execution and the engine's virtual-time execution are two transports
+under one protocol core — any divergence is a seam bug.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigError, UnknownTopic
+from repro.service import (
+    LiveRuntime,
+    delivery_sets_from_trace,
+    replay_live_trace,
+)
+from repro.sim.rng import STREAM_REGISTRY
+
+
+def run_live(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60.0))
+
+
+def build_runtime(seed=0, **kwargs):
+    runtime = LiveRuntime(seed=seed, **kwargs)
+    runtime.add_group(".conf", 5)
+    runtime.add_group(".conf.dsn", 8)
+    return runtime
+
+
+class TestPubSubApi:
+    def test_publish_delivers_to_whole_group(self):
+        async def scenario():
+            runtime = build_runtime()
+            async with runtime:
+                event = await runtime.publish(".conf.dsn", {"n": 1})
+            return runtime, event
+
+        runtime, event = run_live(scenario())
+        trace = runtime.trace()
+        pids = trace["deliveries"][str(event.event_id)]
+        # Inclusion: a .conf.dsn event reaches its group and the .conf
+        # supergroup — all 13 processes on a perfect network.
+        assert pids == sorted(runtime.system.network.pids)
+
+    def test_subscribe_callback_fires_per_delivering_process(self):
+        async def scenario():
+            runtime = build_runtime()
+            sub_conf = []
+            sub_dsn = []
+            runtime.subscribe(".conf", lambda e, pid: sub_conf.append(pid))
+            runtime.subscribe(".conf.dsn", lambda e, pid: sub_dsn.append(pid))
+            async with runtime:
+                await runtime.publish(".conf.dsn", "payload")
+            return runtime, sub_conf, sub_dsn
+
+        runtime, sub_conf, sub_dsn = run_live(scenario())
+        conf_pids = set(runtime.system.group_pids(".conf"))
+        dsn_pids = set(runtime.system.group_pids(".conf.dsn"))
+        assert set(sub_conf) == conf_pids
+        assert set(sub_dsn) == dsn_pids
+
+    def test_publish_to_empty_topic_raises(self):
+        async def scenario():
+            runtime = build_runtime()
+            async with runtime:
+                with pytest.raises(UnknownTopic):
+                    await runtime.publish(".nobody")
+
+        run_live(scenario())
+
+    def test_publish_requires_start(self):
+        runtime = build_runtime()
+        with pytest.raises(ConfigError):
+            asyncio.run(runtime.publish(".conf"))
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            runtime = build_runtime()
+            async with runtime:
+                with pytest.raises(ConfigError):
+                    await runtime.start()
+
+        run_live(scenario())
+
+    def test_static_topology_frozen_after_start(self):
+        async def scenario():
+            runtime = build_runtime()
+            async with runtime:
+                with pytest.raises(ConfigError):
+                    runtime.add_group(".late", 3)
+
+        run_live(scenario())
+
+    def test_status_surface(self):
+        async def scenario():
+            runtime = build_runtime()
+            async with runtime:
+                for n in range(3):
+                    await runtime.publish(".conf.dsn", n)
+                return runtime.status()
+
+        status = run_live(scenario())
+        assert status["published"] == 3
+        assert status["running"] is True
+        assert status["processes"] == 13
+        # the streaming tracker keys by publication topic: each .conf.dsn
+        # event reaches its 8 group members plus the 5-member supergroup
+        assert status["deliveries_by_topic"][".conf.dsn"] == 3 * 13
+        assert status["queue"]["pending"] == 0
+        assert status["queue"]["executed"] == status["queue"]["dispatched"] > 0
+        assert sum(status["network"]["delivered_by_kind"].values()) > 0
+        assert status["scheduler_lag"]["max"] >= 0.0
+
+    def test_stop_shuts_down_cleanly(self):
+        async def scenario():
+            runtime = build_runtime()
+            await runtime.start()
+            await runtime.publish(".conf", "x")
+            await runtime.stop()
+            return runtime.status()
+
+        status = run_live(scenario())
+        assert status["running"] is False
+        assert status["queue"]["pending"] == 0
+
+
+class TestReplayOracle:
+    def test_trace_is_json_serializable(self):
+        async def scenario():
+            runtime = build_runtime(seed=3)
+            async with runtime:
+                await runtime.publish(".conf", [1, 2])
+            return runtime.trace()
+
+        trace = run_live(scenario())
+        round_tripped = json.loads(json.dumps(trace))
+        assert round_tripped["seed"] == 3
+        assert round_tripped["version"] == 1
+        assert len(round_tripped["publishes"]) == 1
+
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_live_trace_replays_identically_on_engine(self, seed):
+        """THE golden compare: live delivery sets == engine delivery sets."""
+
+        async def scenario():
+            runtime = build_runtime(seed=seed)
+            async with runtime:
+                for n in range(4):
+                    await runtime.publish(".conf.dsn", {"n": n})
+                await runtime.publish(".conf", "up")
+            return runtime.trace()
+
+        trace = run_live(scenario())
+        result = replay_live_trace(trace)
+        assert result["matches"], (
+            result["deliveries"],
+            delivery_sets_from_trace(trace),
+        )
+        # and the replayed system really delivered to everyone (perfect
+        # network): every event reaches its full inclusion set
+        for record in trace["publishes"]:
+            assert trace["deliveries"][record["event"]]
+
+    def test_replay_with_channel_loss(self):
+        """p_success < 1: both sides draw identical channel-loss outcomes
+        because the shared streams see identical draw sequences."""
+
+        async def scenario():
+            runtime = build_runtime(seed=11, p_success=0.8)
+            async with runtime:
+                for n in range(3):
+                    await runtime.publish(".conf.dsn", n)
+            return runtime.trace()
+
+        trace = run_live(scenario())
+        assert trace["p_success"] == 0.8
+        assert replay_live_trace(trace)["matches"]
+
+    def test_replay_rejects_unknown_version(self):
+        with pytest.raises(ConfigError):
+            replay_live_trace({"version": 99, "mode": "static"})
+
+    def test_replay_rejects_dynamic_traces(self):
+        with pytest.raises(ConfigError):
+            replay_live_trace(
+                {"version": 1, "mode": "dynamic", "seed": 0}
+            )
+
+    def test_replay_detects_divergent_trace(self):
+        async def scenario():
+            runtime = build_runtime(seed=2)
+            async with runtime:
+                await runtime.publish(".conf", "x")
+            return runtime.trace()
+
+        trace = run_live(scenario())
+        trace["deliveries"] = {
+            key: pids[:-1] for key, pids in trace["deliveries"].items()
+        }
+        assert replay_live_trace(trace)["matches"] is False
+
+    def test_live_publish_stream_is_registered(self):
+        """DET004 satellite: the live runtime's dedicated stream label is
+        declared in the registry."""
+        assert "live/publish" in STREAM_REGISTRY["run"]
+
+
+class TestServeCli:
+    def test_serve_smoke_with_replay_verification(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "serve",
+                "--topics",
+                ".conf:4",
+                ".conf.dsn:6",
+                "--publish",
+                "8",
+                "--seed",
+                "5",
+                "--verify-replay",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivery sets match" in out
+        assert "0 pending" in out
+        saved = json.loads(trace_path.read_text())
+        assert len(saved["publishes"]) == 8
+        assert replay_live_trace(saved)["matches"]
+
+    def test_serve_rejects_bad_topic_spec(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--topics", "nocount"]) == 2
+        assert "TOPIC:COUNT" in capsys.readouterr().err

@@ -1,0 +1,234 @@
+"""Clock protocol seam: Engine and AsyncClock behind one contract.
+
+The refactor's invariant: everything that only *tells time* works
+identically on the discrete-event engine (virtual time) and the live
+asyncio clock (wall time) — same ``PeriodicTask`` semantics, same
+``Handle`` cancellation semantics, same FIFO ordering for same-time
+callbacks. Plus a hypothesis suite pinning that Engine-backed runs stay
+bit-identical run-to-run through the seam.
+"""
+
+import asyncio
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SchedulingError
+from repro.service.clock import AsyncClock, AsyncHandle
+from repro.sim.clock import Clock, Handle, PeriodicTask
+from repro.sim.engine import Engine, EventHandle
+
+
+class TestProtocolConformance:
+    def test_engine_is_a_clock(self):
+        assert isinstance(Engine(), Clock)
+
+    def test_async_clock_is_a_clock(self):
+        assert isinstance(AsyncClock(), Clock)
+
+    def test_engine_handle_satisfies_handle(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert isinstance(handle, EventHandle)
+        assert isinstance(handle, Handle)
+
+    def test_async_handle_satisfies_handle(self):
+        assert isinstance(AsyncHandle(), Handle)
+
+    def test_engine_every_returns_shared_periodic_task(self):
+        engine = Engine()
+        task = engine.every(1.0, lambda: None)
+        assert isinstance(task, PeriodicTask)
+
+
+class TestEngineCancellation:
+    def test_cancel_prevents_firing(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run_until_idle()
+        assert fired == []
+        assert handle.cancelled and not handle.fired and not handle.pending
+
+    def test_cancel_after_firing_is_noop(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        engine.run_until_idle()
+        handle.cancel()
+        assert fired == [1]
+        assert handle.fired and not handle.cancelled
+
+    def test_periodic_stop_on_engine(self):
+        engine = Engine()
+        ticks = []
+        task = engine.every(1.0, lambda: ticks.append(engine.now))
+        engine.run(until=3.5)
+        task.stop()
+        engine.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert not task.running
+        assert task.firings == 3
+
+    def test_periodic_callback_false_stops_on_engine(self):
+        engine = Engine()
+        task = engine.every(1.0, lambda: False)
+        engine.run_until_idle()
+        assert task.firings == 1
+        assert not task.running
+
+
+class TestAsyncClock:
+    def test_now_is_zero_before_attach(self):
+        assert AsyncClock().now == 0.0
+
+    def test_schedule_outside_loop_raises(self):
+        with pytest.raises(RuntimeError):
+            AsyncClock().schedule(0.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        async def run():
+            clock = AsyncClock()
+            clock.attach()
+            with pytest.raises(SchedulingError):
+                clock.schedule(-1.0, lambda: None)
+            with pytest.raises(SchedulingError):
+                clock.schedule_at(clock.now - 5.0, lambda: None)
+
+        asyncio.run(run())
+
+    def test_schedule_fires_and_marks_handle(self):
+        async def run():
+            clock = AsyncClock()
+            clock.attach()
+            fired = asyncio.Event()
+            handle = clock.schedule(0.0, fired.set)
+            assert handle.pending
+            await asyncio.wait_for(fired.wait(), timeout=5.0)
+            assert handle.fired and not handle.pending
+
+        asyncio.run(run())
+
+    def test_cancel_prevents_firing_on_async_clock(self):
+        async def run():
+            clock = AsyncClock()
+            clock.attach()
+            fired = []
+            handle = clock.schedule(0.0, lambda: fired.append(1))
+            handle.cancel()
+            assert handle.cancelled and not handle.pending
+            await asyncio.sleep(0.01)
+            assert fired == []
+            handle.cancel()  # idempotent
+            assert handle.cancelled and not handle.fired
+
+        asyncio.run(run())
+
+    def test_periodic_task_runs_and_stops_on_async_clock(self):
+        async def run():
+            clock = AsyncClock()
+            clock.attach()
+            done = asyncio.Event()
+            ticks = []
+
+            def tick():
+                ticks.append(clock.now)
+                if len(ticks) >= 3:
+                    done.set()
+
+            task = clock.every(0.001, tick)
+            assert task.running
+            await asyncio.wait_for(done.wait(), timeout=5.0)
+            task.stop()
+            seen = task.firings
+            assert seen >= 3
+            await asyncio.sleep(0.01)
+            assert task.firings == seen
+            assert not task.running
+
+        asyncio.run(run())
+
+    def test_periodic_max_firings_on_async_clock(self):
+        async def run():
+            clock = AsyncClock()
+            clock.attach()
+            ticks = []
+            task = clock.every(0.001, lambda: ticks.append(1), max_firings=2)
+            for _ in range(200):
+                if not task.running:
+                    break
+                await asyncio.sleep(0.002)
+            assert ticks == [1, 1]
+            assert not task.running
+
+        asyncio.run(run())
+
+    def test_attach_is_idempotent_per_loop(self):
+        async def run():
+            clock = AsyncClock()
+            clock.attach()
+            await asyncio.sleep(0.002)
+            before = clock.now
+            clock.attach()  # same loop: origin must NOT reset
+            assert clock.now >= before > 0.0
+
+        asyncio.run(run())
+
+
+@given(
+    delays=st.lists(
+        st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=30,
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_engine_schedule_order_is_deterministic(delays, cancel_mask):
+    """Same schedule/cancel sequence → identical firing trace, twice.
+
+    The pre/post-refactor bit-identity property at the seam level: Engine
+    consumed through the Clock protocol surface (schedule + Handle.cancel
+    + run) yields exactly the same execution every time.
+    """
+
+    def run_once():
+        engine = Engine()
+        fired = []
+        handles = []
+        for index, delay in enumerate(delays):
+            handles.append(
+                engine.schedule(
+                    delay, lambda i=index: fired.append((engine.now, i))
+                )
+            )
+        for handle, cancel in zip(handles, cancel_mask):
+            if cancel:
+                handle.cancel()
+        engine.run_until_idle()
+        return fired
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+    cancelled = {
+        i for i, (_, cancel) in enumerate(zip(delays, cancel_mask)) if cancel
+    }
+    assert {i for _, i in first} == set(range(len(delays))) - cancelled
+
+
+@given(
+    interval=st.floats(0.1, 5.0, allow_nan=False, allow_infinity=False),
+    horizon=st.floats(1.0, 50.0, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_periodic_firing_count_matches_closed_form(interval, horizon):
+    engine = Engine()
+    task = engine.every(interval, lambda: None)
+    engine.run(until=horizon)
+    expected = int(horizon // interval)
+    # Guard float-boundary flakiness: k*interval == horizon may or may
+    # not be reached depending on rounding; allow the boundary tick.
+    assert task.firings in (expected, expected + 1, max(0, expected - 1))
